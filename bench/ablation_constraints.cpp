@@ -1,0 +1,93 @@
+// Ablation for the paper's two conclusions (Sec. 6):
+//  (a) "current libraries may be upgraded with more instances of the
+//      gates with different transistor reorderings" — measured as the
+//      gap between instance-restricted optimization (pure input
+//      reordering on the canonical layouts) and full reordering;
+//  (b) "it is possible to obtain power reductions without increasing
+//      the delay of the circuit" — measured by re-running the optimizer
+//      with a zero gate-delay-increase budget.
+//
+// Expected shape: full > delay-constrained > instance-restricted > 0,
+// with the delay-constrained column showing non-positive circuit delay
+// change.
+
+#include <iostream>
+
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "delay/elmore.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/scenario.hpp"
+#include "power/circuit_power.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace tr;
+
+  const celllib::CellLibrary lib = celllib::CellLibrary::standard();
+  const celllib::Tech tech;
+
+  std::cout << "Ablation: optimization gain vs original mapping under the\n"
+               "paper's conclusions (scenario A). 'full' = unconstrained\n"
+               "reordering; 'inst' = input reordering within the canonical\n"
+               "layout instance; 'delay0' = reordering with zero gate-delay\n"
+               "budget (paper: 'power reductions without increasing the "
+               "delay').\n\n";
+
+  TextTable table({"circuit", "G", "full [%]", "inst [%]", "delay0 [%]",
+                   "delay0 D [%]"});
+  RunningStats full_stats, inst_stats, d0_stats, d0_delay;
+  for (const char* name : {"b1", "cm151a", "decod", "cm162a", "x2", "z4ml",
+                           "cm150a", "9symml", "comp", "apex7", "alu2"}) {
+    const auto& spec = benchgen::suite_entry(name);
+    const netlist::Netlist original = benchgen::build_benchmark(lib, spec);
+    const auto stats = opt::scenario_a(original, spec.seed ^ 0x1234ULL);
+    const auto activity = power::propagate_activity(original, stats);
+    const double p_orig =
+        power::circuit_power(original, activity, tech).total();
+    const double t_orig = delay::circuit_delay(original, tech).critical_path;
+
+    const auto reduction = [&](const opt::OptimizeOptions& options,
+                               double* delay_change) {
+      netlist::Netlist nl = original;
+      opt::optimize(nl, stats, tech, options);
+      if (delay_change != nullptr) {
+        *delay_change = percent_increase(
+            t_orig, delay::circuit_delay(nl, tech).critical_path);
+      }
+      return percent_reduction(
+          p_orig, power::circuit_power(nl, activity, tech).total());
+    };
+
+    const double full = reduction({}, nullptr);
+    opt::OptimizeOptions inst_only;
+    inst_only.restrict_to_instance = true;
+    const double inst = reduction(inst_only, nullptr);
+    opt::OptimizeOptions delay0;
+    delay0.max_circuit_delay_increase = 0.0;
+    double d_change = 0.0;
+    const double d0 = reduction(delay0, &d_change);
+
+    table.add_row({name, std::to_string(original.gate_count()),
+                   format_fixed(full, 1), format_fixed(inst, 1),
+                   format_fixed(d0, 1), format_fixed(d_change, 1)});
+    full_stats.add(full);
+    inst_stats.add(inst);
+    d0_stats.add(d0);
+    d0_delay.add(d_change);
+  }
+  table.add_separator();
+  table.add_row({"average", "", format_fixed(full_stats.mean(), 1),
+                 format_fixed(inst_stats.mean(), 1),
+                 format_fixed(d0_stats.mean(), 1),
+                 format_fixed(d0_delay.mean(), 1)});
+  table.print(std::cout);
+
+  std::cout << "\nReading: (full - inst) is the gain that requires new "
+               "library instances\n(paper conclusion (a)); 'delay0' shows "
+               "power still drops with the delay\nbudget pinned at zero "
+               "(paper conclusion (b)).\n";
+  return 0;
+}

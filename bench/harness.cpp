@@ -1,0 +1,59 @@
+#include "harness.hpp"
+
+#include "delay/elmore.hpp"
+#include "opt/optimizer.hpp"
+#include "power/circuit_power.hpp"
+#include "sim/switch_sim.hpp"
+#include "util/stats.hpp"
+
+namespace tr::bench {
+
+PipelineRow run_pipeline(
+    const netlist::Netlist& original,
+    const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
+    const celllib::Tech& tech, std::uint64_t sim_seed,
+    double sim_toggles_per_pi) {
+  PipelineRow row;
+  row.name = original.name();
+  row.gates = original.gate_count();
+
+  // Best and worst orderings (paper Sec. 5.1: "one of them contains the
+  // best transistor reordering ... the other one the worst one").
+  netlist::Netlist best = original;
+  netlist::Netlist worst = original;
+  opt::optimize(best, pi_stats, tech);
+  opt::OptimizeOptions maximize;
+  maximize.objective = opt::Objective::maximize_power;
+  opt::optimize(worst, pi_stats, tech, maximize);
+
+  // Column M: model power reduction, best vs worst.
+  const auto activity = power::propagate_activity(original, pi_stats);
+  const double model_best = power::circuit_power(best, activity, tech).total();
+  const double model_worst =
+      power::circuit_power(worst, activity, tech).total();
+  row.model_reduction = percent_reduction(model_worst, model_best);
+
+  // Column S: switch-level simulation, same input processes for both
+  // descriptions (identical seed -> identical PI waveforms).
+  double mean_density = 0.0;
+  for (const auto& [net, stats] : pi_stats) mean_density += stats.density;
+  mean_density /= static_cast<double>(pi_stats.size());
+  sim::SimOptions so;
+  so.seed = sim_seed;
+  so.measure_time =
+      mean_density > 0.0 ? sim_toggles_per_pi / mean_density : 1e-3;
+  so.warmup_time = so.measure_time * 0.02;
+  const double sim_best = sim::simulate(best, pi_stats, tech, so).power;
+  const double sim_worst = sim::simulate(worst, pi_stats, tech, so).power;
+  row.sim_reduction = percent_reduction(sim_worst, sim_best);
+
+  // Column D: delay increase of the power-best mapping vs the original
+  // cell-library mapping.
+  const double delay_original =
+      delay::circuit_delay(original, tech).critical_path;
+  const double delay_best = delay::circuit_delay(best, tech).critical_path;
+  row.delay_increase = percent_increase(delay_original, delay_best);
+  return row;
+}
+
+}  // namespace tr::bench

@@ -1,0 +1,39 @@
+#pragma once
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench prints a self-contained table to stdout in the shape of the
+// corresponding paper table; EXPERIMENTS.md records paper-vs-measured.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "boolfn/signal.hpp"
+#include "celllib/tech.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tr::bench {
+
+/// Result of the paper's full evaluation pipeline on one circuit under
+/// one input scenario (Table 3 row).
+struct PipelineRow {
+  std::string name;
+  int gates = 0;
+  double model_reduction = 0.0;  ///< column M [%]
+  double sim_reduction = 0.0;    ///< column S [%]
+  double delay_increase = 0.0;   ///< column D [%]
+};
+
+/// Runs optimize-best / optimize-worst, evaluates both with the model and
+/// the switch-level simulator, and measures the delay impact of the
+/// power-optimal netlist vs the original mapping.
+///
+/// `sim_toggles_per_pi` controls the simulated window: the measurement
+/// time is chosen so an average primary input toggles that many times.
+PipelineRow run_pipeline(const netlist::Netlist& original,
+                         const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
+                         const celllib::Tech& tech,
+                         std::uint64_t sim_seed,
+                         double sim_toggles_per_pi = 200.0);
+
+}  // namespace tr::bench

@@ -1,0 +1,103 @@
+// Performance benchmarks (google-benchmark): supports the paper's claim
+// that the model "allows a fast exploration of the different
+// configurations of a gate" (Sec. 1) and that exhaustive per-gate
+// exploration is feasible (Sec. 4.1). Measures H/G extraction, model
+// evaluation, reordering enumeration, whole-gate exploration and the
+// end-to-end optimizer.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "gategraph/gate_graph.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/scenario.hpp"
+#include "power/gate_power.hpp"
+
+namespace {
+
+using namespace tr;
+
+const celllib::CellLibrary& lib() {
+  static const celllib::CellLibrary instance = celllib::CellLibrary::standard();
+  return instance;
+}
+
+void BM_PathFunctions(benchmark::State& state, const char* cell_name) {
+  const auto& cell = lib().cell(cell_name);
+  for (auto _ : state) {
+    const gategraph::GateGraph graph(cell.topology());
+    for (int node = gategraph::GateGraph::output_node;
+         node < graph.node_count(); ++node) {
+      benchmark::DoNotOptimize(graph.h_function(node));
+      benchmark::DoNotOptimize(graph.g_function(node));
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_PathFunctions, nand3, "nand3");
+BENCHMARK_CAPTURE(BM_PathFunctions, aoi222, "aoi222");
+
+void BM_GatePowerEvaluation(benchmark::State& state, const char* cell_name) {
+  const auto& cell = lib().cell(cell_name);
+  const celllib::Tech tech;
+  const gategraph::GateGraph graph(cell.topology());
+  const auto caps = celllib::node_capacitances(graph, tech, 10e-15);
+  std::vector<boolfn::SignalStats> inputs(
+      static_cast<std::size_t>(cell.input_count()),
+      boolfn::SignalStats{0.4, 3e5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        power::evaluate_gate_power(graph, caps, inputs, tech));
+  }
+}
+BENCHMARK_CAPTURE(BM_GatePowerEvaluation, nand2, "nand2");
+BENCHMARK_CAPTURE(BM_GatePowerEvaluation, oai221, "oai221");
+
+void BM_ReorderingEnumeration(benchmark::State& state, const char* cell_name) {
+  const auto& cell = lib().cell(cell_name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.topology().all_reorderings());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cell.config_count()));
+}
+BENCHMARK_CAPTURE(BM_ReorderingEnumeration, oai21, "oai21");
+BENCHMARK_CAPTURE(BM_ReorderingEnumeration, aoi222, "aoi222");
+
+void BM_ExploreGate(benchmark::State& state, const char* cell_name) {
+  // FIND_BEST_REORDERING for one gate: enumerate + model-evaluate all.
+  const auto& cell = lib().cell(cell_name);
+  const celllib::Tech tech;
+  std::vector<boolfn::SignalStats> inputs(
+      static_cast<std::size_t>(cell.input_count()),
+      boolfn::SignalStats{0.4, 3e5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::score_configurations(
+        cell.topology(), inputs, 10e-15, tech));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cell.config_count()));
+}
+BENCHMARK_CAPTURE(BM_ExploreGate, nand3, "nand3");
+BENCHMARK_CAPTURE(BM_ExploreGate, aoi221, "aoi221");
+BENCHMARK_CAPTURE(BM_ExploreGate, aoi222, "aoi222");
+
+void BM_OptimizeCircuit(benchmark::State& state, const char* bench_name) {
+  const auto& spec = benchgen::suite_entry(bench_name);
+  const netlist::Netlist original = benchgen::build_benchmark(lib(), spec);
+  const auto stats = opt::scenario_a(original, spec.seed);
+  const celllib::Tech tech;
+  for (auto _ : state) {
+    netlist::Netlist working = original;  // fresh copy each iteration
+    benchmark::DoNotOptimize(opt::optimize(working, stats, tech));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          original.gate_count());
+}
+BENCHMARK_CAPTURE(BM_OptimizeCircuit, b1_24_gates, "b1");
+BENCHMARK_CAPTURE(BM_OptimizeCircuit, cmb_117_gates, "cmb");
+BENCHMARK_CAPTURE(BM_OptimizeCircuit, alu4_540_gates, "alu4");
+
+}  // namespace
+
+BENCHMARK_MAIN();

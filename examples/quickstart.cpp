@@ -1,0 +1,62 @@
+// Quickstart: explore the transistor reorderings of one gate with the
+// extended power model — the library's core loop in ~50 lines.
+//
+//   build a gate -> enumerate reorderings (paper Fig. 4)
+//   -> evaluate each with the stochastic power model (paper Sec. 3.3)
+//   -> pick the best.
+//
+// Run: ./build/examples/quickstart
+
+#include <iostream>
+
+#include "celllib/library.hpp"
+#include "gategraph/gate_graph.hpp"
+#include "opt/optimizer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace tr;
+  using boolfn::SignalStats;
+
+  // 1. A cell library (the paper's Table 2 set) and a gate to study:
+  //    oai21 computes y = !((a+b) c).
+  const celllib::CellLibrary library = celllib::CellLibrary::standard();
+  const celllib::Tech tech;  // 5V, SOG-flavoured capacitances
+  const celllib::Cell& gate = library.cell("oai21");
+
+  // 2. Input statistics: each signal is a 0-1 stationary Markov process
+  //    with an equilibrium probability P and a transition density D.
+  //    Here pin c toggles 100x more than pin a.
+  const std::vector<SignalStats> inputs{
+      {0.5, 1e4},  // a: quiet
+      {0.5, 1e5},  // b
+      {0.5, 1e6},  // c: hot
+  };
+  const double external_load = 4.0 * tech.c_gate;  // fanout of 2
+
+  // 3. Score every transistor reordering of the gate.
+  const auto scored =
+      opt::score_configurations(gate.topology(), inputs, external_load, tech);
+
+  TextTable table({"pull-down order", "pull-up order", "power [uW]"});
+  double best = scored.front().second;
+  double worst = scored.front().second;
+  for (const auto& [config, power] : scored) {
+    table.add_row({gategraph::encode(config.nmos()),
+                   gategraph::encode(config.pmos()),
+                   format_fixed(power * 1e6, 4)});
+    best = std::min(best, power);
+    worst = std::max(worst, power);
+  }
+  std::cout << "Reorderings of oai21 (pins a=T0, b=T1, c=T2; c is the hot "
+               "input):\n\n";
+  table.print(std::cout);
+  std::cout << "\nBest configuration saves "
+            << format_fixed(100.0 * (worst - best) / worst, 1)
+            << "% versus the worst one — same logic function, same area,\n"
+               "different internal-node exposure. That margin is what the\n"
+               "optimizer (tr::opt::optimize) harvests across a whole "
+               "netlist.\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+#pragma once
+// Hand-embedded classic netlists in BLIF form, used by the examples and
+// by the parser/mapper integration tests. These are public-domain
+// textbook circuits (ISCAS-85 c17, a 2-bit comparator, a full adder, a
+// 2-to-4 decoder), small enough to verify exhaustively.
+
+#include <string>
+#include <vector>
+
+namespace tr::benchgen {
+
+/// Names of the embedded circuits.
+std::vector<std::string> classic_names();
+
+/// BLIF text of one embedded circuit (generic .names dialect).
+/// Throws tr::Error for unknown names.
+const std::string& classic_blif(const std::string& name);
+
+}  // namespace tr::benchgen

@@ -1,0 +1,36 @@
+#pragma once
+// The Table 3 benchmark suite registry.
+//
+// The paper reports 39 MCNC circuits (24-540 gates). The original
+// netlists are not redistributable, so each entry here is a synthetic
+// stand-in: a deterministic random multilevel circuit with the same gate
+// count, named after the MCNC circuit it substitutes (DESIGN.md Sec. 4).
+// Sizes follow the G column of Table 3 as far as it is legible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tr::benchgen {
+
+/// One suite entry.
+struct BenchmarkSpec {
+  std::string name;  ///< MCNC circuit this stands in for
+  int gates = 0;     ///< Table 3 G column
+  int primary_inputs = 0;
+  std::uint64_t seed = 0;  ///< derived from the name, stable across runs
+};
+
+/// The 39-circuit suite in Table 3 order (by gate count).
+const std::vector<BenchmarkSpec>& table3_suite();
+
+/// Looks a spec up by name; throws tr::Error when absent.
+const BenchmarkSpec& suite_entry(const std::string& name);
+
+/// Materialises a suite entry as a mapped netlist.
+netlist::Netlist build_benchmark(const celllib::CellLibrary& library,
+                                 const BenchmarkSpec& spec);
+
+}  // namespace tr::benchgen

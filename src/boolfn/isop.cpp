@@ -1,0 +1,77 @@
+#include "boolfn/isop.hpp"
+
+#include "util/error.hpp"
+
+namespace tr::boolfn {
+
+namespace {
+
+/// Minato-Morreale recursion over an interval [lower, upper]:
+/// returns a cube cover C with lower <= OR(C) <= upper, and writes OR(C)
+/// to `cover_fn`. Cubes are built over `var_count` variables.
+std::vector<Cube> isop_interval(const TruthTable& lower,
+                                const TruthTable& upper, int var_count,
+                                TruthTable& cover_fn) {
+  TR_ASSERT((lower & ~upper).is_zero());
+  if (lower.is_zero()) {
+    cover_fn = TruthTable::zero(var_count);
+    return {};
+  }
+  if (upper.is_one()) {
+    cover_fn = TruthTable::one(var_count);
+    return {Cube(static_cast<std::size_t>(var_count), '-')};
+  }
+
+  // Split on the first variable either bound depends on.
+  int split = -1;
+  for (int j = 0; j < var_count; ++j) {
+    if (lower.depends_on(j) || upper.depends_on(j)) {
+      split = j;
+      break;
+    }
+  }
+  TR_ASSERT(split >= 0);
+
+  const TruthTable l0 = lower.cofactor(split, false);
+  const TruthTable l1 = lower.cofactor(split, true);
+  const TruthTable u0 = upper.cofactor(split, false);
+  const TruthTable u1 = upper.cofactor(split, true);
+
+  // Cubes that must contain the negative / positive literal of `split`.
+  TruthTable f0(var_count), f1(var_count), fs(var_count);
+  std::vector<Cube> c0 = isop_interval(l0 & ~u1, u0, var_count, f0);
+  std::vector<Cube> c1 = isop_interval(l1 & ~u0, u1, var_count, f1);
+
+  // Remaining onset not yet covered, must be covered split-independently.
+  const TruthTable l_rest = (l0 & ~f0) | (l1 & ~f1);
+  std::vector<Cube> cs = isop_interval(l_rest, u0 & u1, var_count, fs);
+
+  std::vector<Cube> cover;
+  cover.reserve(c0.size() + c1.size() + cs.size());
+  for (Cube& c : c0) {
+    c[static_cast<std::size_t>(split)] = '0';
+    cover.push_back(std::move(c));
+  }
+  for (Cube& c : c1) {
+    c[static_cast<std::size_t>(split)] = '1';
+    cover.push_back(std::move(c));
+  }
+  for (Cube& c : cs) cover.push_back(std::move(c));
+
+  const TruthTable x = TruthTable::variable(var_count, split);
+  cover_fn = (~x & f0) | (x & f1) | fs;
+  TR_ASSERT((lower & ~cover_fn).is_zero());
+  TR_ASSERT((cover_fn & ~upper).is_zero());
+  return cover;
+}
+
+}  // namespace
+
+std::vector<Cube> isop(const TruthTable& f) {
+  TruthTable cover_fn(f.var_count());
+  std::vector<Cube> cubes = isop_interval(f, f, f.var_count(), cover_fn);
+  TR_ASSERT(cover_fn == f);
+  return cubes;
+}
+
+}  // namespace tr::boolfn

@@ -1,0 +1,22 @@
+#pragma once
+// Irredundant sum-of-products extraction (Minato-Morreale ISOP).
+// Used by the tech mapper to decompose BLIF nodes that do not match any
+// library cell, and by the BLIF writer to serialise generic logic nodes.
+
+#include <string>
+#include <vector>
+
+#include "boolfn/truth_table.hpp"
+
+namespace tr::boolfn {
+
+/// One product term: literals[j] is '1' (positive), '0' (negative) or '-'
+/// (absent) for variable j, in the same cube-string format accepted by
+/// TruthTable::from_cubes.
+using Cube = std::string;
+
+/// Computes an irredundant SOP cover of f. The cover is exact:
+/// TruthTable::from_cubes(f.var_count(), isop(f)) == f.
+std::vector<Cube> isop(const TruthTable& f);
+
+}  // namespace tr::boolfn

@@ -1,0 +1,42 @@
+#include "boolfn/signal.hpp"
+
+#include "util/error.hpp"
+
+namespace tr::boolfn {
+
+namespace {
+std::vector<double> probs_of(const std::vector<SignalStats>& inputs) {
+  std::vector<double> probs;
+  probs.reserve(inputs.size());
+  for (const auto& s : inputs) probs.push_back(s.prob);
+  return probs;
+}
+}  // namespace
+
+double output_probability(const TruthTable& f,
+                          const std::vector<SignalStats>& inputs) {
+  require(static_cast<int>(inputs.size()) == f.var_count(),
+          "output_probability: input arity mismatch");
+  return f.probability(probs_of(inputs));
+}
+
+double output_density(const TruthTable& f,
+                      const std::vector<SignalStats>& inputs) {
+  require(static_cast<int>(inputs.size()) == f.var_count(),
+          "output_density: input arity mismatch");
+  const std::vector<double> probs = probs_of(inputs);
+  double density = 0.0;
+  for (int j = 0; j < f.var_count(); ++j) {
+    const double dj = inputs[static_cast<std::size_t>(j)].density;
+    if (dj == 0.0) continue;
+    density += f.boolean_difference(j).probability(probs) * dj;
+  }
+  return density;
+}
+
+SignalStats propagate(const TruthTable& f,
+                      const std::vector<SignalStats>& inputs) {
+  return SignalStats{output_probability(f, inputs), output_density(f, inputs)};
+}
+
+}  // namespace tr::boolfn

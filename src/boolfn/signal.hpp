@@ -1,0 +1,36 @@
+#pragma once
+// Stochastic signal model: every logic signal is a 0-1 stationary Markov
+// process characterised by its equilibrium probability P(x) (paper
+// Def. 3.3) and its transition density D(x) in transitions per second
+// (paper Def. 3.4). Propagation across a boolean function uses
+// Parker-McCluskey for probabilities and Najm's transition density for
+// activity (paper Sec. 3.2):
+//
+//     D(y) = sum_i P(dy/dx_i) * D(x_i)
+
+#include <vector>
+
+#include "boolfn/truth_table.hpp"
+
+namespace tr::boolfn {
+
+/// Equilibrium probability + transition density of one signal.
+struct SignalStats {
+  double prob = 0.5;     ///< P(x): probability the signal is '1'.
+  double density = 0.0;  ///< D(x): transitions per time unit (both edges).
+};
+
+/// Exact equilibrium probability of f's output under spatially independent
+/// inputs (Parker-McCluskey). `inputs[j]` describes variable j.
+double output_probability(const TruthTable& f,
+                          const std::vector<SignalStats>& inputs);
+
+/// Najm transition density of f's output: sum_i P(df/dx_i) * D(x_i).
+double output_density(const TruthTable& f,
+                      const std::vector<SignalStats>& inputs);
+
+/// Convenience: both statistics at once.
+SignalStats propagate(const TruthTable& f,
+                      const std::vector<SignalStats>& inputs);
+
+}  // namespace tr::boolfn

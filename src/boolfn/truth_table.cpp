@@ -1,0 +1,288 @@
+#include "boolfn/truth_table.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace tr::boolfn {
+
+TruthTable::TruthTable(int var_count) : var_count_(var_count) {
+  require(var_count >= 0 && var_count <= max_vars,
+          "TruthTable: var_count out of range [0, " +
+              std::to_string(max_vars) + "]: " + std::to_string(var_count));
+  words_.assign(word_count(), 0);
+}
+
+TruthTable TruthTable::zero(int var_count) { return TruthTable(var_count); }
+
+TruthTable TruthTable::one(int var_count) {
+  TruthTable t(var_count);
+  for (auto& w : t.words_) w = ~0ULL;
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::variable(int var_count, int var) {
+  require(var >= 0 && var < var_count,
+          "TruthTable::variable: index " + std::to_string(var) +
+              " out of range for " + std::to_string(var_count) + " variables");
+  TruthTable t(var_count);
+  if (var >= 6) {
+    // Whole words alternate in blocks of 2^(var-6).
+    const std::uint64_t block = 1ULL << (var - 6);
+    for (std::uint64_t w = 0; w < t.word_count(); ++w) {
+      if ((w / block) & 1ULL) t.words_[w] = ~0ULL;
+    }
+  } else {
+    // Pattern repeats within each word.
+    std::uint64_t pattern = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((bit >> var) & 1) pattern |= 1ULL << bit;
+    }
+    for (auto& w : t.words_) w = pattern;
+  }
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::from_bits(int var_count, const std::vector<bool>& bits) {
+  TruthTable t(var_count);
+  require(bits.size() == t.minterm_count(),
+          "TruthTable::from_bits: expected " +
+              std::to_string(t.minterm_count()) + " bits, got " +
+              std::to_string(bits.size()));
+  for (std::uint64_t m = 0; m < bits.size(); ++m) {
+    if (bits[m]) t.words_[m >> 6] |= 1ULL << (m & 63);
+  }
+  return t;
+}
+
+TruthTable TruthTable::from_cubes(int var_count,
+                                  const std::vector<std::string>& cubes) {
+  TruthTable result(var_count);
+  for (const std::string& cube : cubes) {
+    require(static_cast<int>(cube.size()) == var_count,
+            "TruthTable::from_cubes: cube '" + cube + "' has " +
+                std::to_string(cube.size()) + " literals, expected " +
+                std::to_string(var_count));
+    TruthTable term = one(var_count);
+    for (int j = 0; j < var_count; ++j) {
+      switch (cube[static_cast<std::size_t>(j)]) {
+        case '1': term &= variable(var_count, j); break;
+        case '0': term &= ~variable(var_count, j); break;
+        case '-': break;
+        default:
+          throw Error("TruthTable::from_cubes: bad literal '" +
+                      std::string(1, cube[static_cast<std::size_t>(j)]) +
+                      "' in cube '" + cube + "'");
+      }
+    }
+    result |= term;
+  }
+  return result;
+}
+
+bool TruthTable::is_zero() const noexcept {
+  for (auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool TruthTable::is_one() const noexcept { return count_ones() == minterm_count(); }
+
+bool TruthTable::value_at(std::uint64_t minterm) const {
+  TR_ASSERT(minterm < minterm_count());
+  return (words_[minterm >> 6] >> (minterm & 63)) & 1ULL;
+}
+
+std::uint64_t TruthTable::count_ones() const noexcept {
+  std::uint64_t total = 0;
+  for (auto w : words_) total += static_cast<std::uint64_t>(std::popcount(w));
+  return total;
+}
+
+bool TruthTable::depends_on(int var) const {
+  return !boolean_difference(var).is_zero();
+}
+
+std::vector<int> TruthTable::support() const {
+  std::vector<int> vars;
+  for (int j = 0; j < var_count_; ++j) {
+    if (depends_on(j)) vars.push_back(j);
+  }
+  return vars;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& rhs) const {
+  TruthTable t(*this);
+  t &= rhs;
+  return t;
+}
+TruthTable TruthTable::operator|(const TruthTable& rhs) const {
+  TruthTable t(*this);
+  t |= rhs;
+  return t;
+}
+TruthTable TruthTable::operator^(const TruthTable& rhs) const {
+  TruthTable t(*this);
+  t ^= rhs;
+  return t;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t(*this);
+  for (auto& w : t.words_) w = ~w;
+  t.mask_tail();
+  return t;
+}
+
+TruthTable& TruthTable::operator&=(const TruthTable& rhs) {
+  require(var_count_ == rhs.var_count_,
+          "TruthTable: operands have different variable counts");
+  for (std::uint64_t i = 0; i < words_.size(); ++i) words_[i] &= rhs.words_[i];
+  return *this;
+}
+TruthTable& TruthTable::operator|=(const TruthTable& rhs) {
+  require(var_count_ == rhs.var_count_,
+          "TruthTable: operands have different variable counts");
+  for (std::uint64_t i = 0; i < words_.size(); ++i) words_[i] |= rhs.words_[i];
+  return *this;
+}
+TruthTable& TruthTable::operator^=(const TruthTable& rhs) {
+  require(var_count_ == rhs.var_count_,
+          "TruthTable: operands have different variable counts");
+  for (std::uint64_t i = 0; i < words_.size(); ++i) words_[i] ^= rhs.words_[i];
+  return *this;
+}
+
+bool TruthTable::operator==(const TruthTable& rhs) const {
+  return var_count_ == rhs.var_count_ && words_ == rhs.words_;
+}
+
+TruthTable TruthTable::cofactor(int var, bool value) const {
+  require(var >= 0 && var < var_count_,
+          "TruthTable::cofactor: variable index out of range");
+  TruthTable t(var_count_);
+  const std::uint64_t n = minterm_count();
+  for (std::uint64_t m = 0; m < n; ++m) {
+    std::uint64_t src = m;
+    if (value) {
+      src |= 1ULL << var;
+    } else {
+      src &= ~(1ULL << var);
+    }
+    if (value_at(src)) t.words_[m >> 6] |= 1ULL << (m & 63);
+  }
+  return t;
+}
+
+TruthTable TruthTable::boolean_difference(int var) const {
+  return cofactor(var, true) ^ cofactor(var, false);
+}
+
+TruthTable TruthTable::exists(int var) const {
+  return cofactor(var, true) | cofactor(var, false);
+}
+
+TruthTable TruthTable::compose(int var, const TruthTable& g) const {
+  require(var_count_ == g.var_count_,
+          "TruthTable::compose: operands have different variable counts");
+  return (g & cofactor(var, true)) | (~g & cofactor(var, false));
+}
+
+TruthTable TruthTable::widened(int new_var_count) const {
+  require(new_var_count >= var_count_,
+          "TruthTable::widened: cannot shrink the variable universe");
+  TruthTable t(new_var_count);
+  const std::uint64_t old_n = minterm_count();
+  const std::uint64_t new_n = t.minterm_count();
+  for (std::uint64_t m = 0; m < new_n; ++m) {
+    if (value_at(m & (old_n - 1))) t.words_[m >> 6] |= 1ULL << (m & 63);
+  }
+  return t;
+}
+
+TruthTable TruthTable::permuted(const std::vector<int>& perm) const {
+  require(static_cast<int>(perm.size()) == var_count_,
+          "TruthTable::permuted: permutation arity mismatch");
+  std::vector<bool> seen(static_cast<std::size_t>(var_count_), false);
+  for (int p : perm) {
+    require(p >= 0 && p < var_count_ && !seen[static_cast<std::size_t>(p)],
+            "TruthTable::permuted: not a permutation");
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  TruthTable t(var_count_);
+  const std::uint64_t n = minterm_count();
+  for (std::uint64_t m = 0; m < n; ++m) {
+    if (!value_at(m)) continue;
+    std::uint64_t dst = 0;
+    for (int j = 0; j < var_count_; ++j) {
+      if ((m >> j) & 1ULL) dst |= 1ULL << perm[static_cast<std::size_t>(j)];
+    }
+    t.words_[dst >> 6] |= 1ULL << (dst & 63);
+  }
+  return t;
+}
+
+TruthTable TruthTable::compacted(const std::vector<int>& support) const {
+  for (int v : support) {
+    require(v >= 0 && v < var_count_, "TruthTable::compacted: bad variable");
+  }
+  for (int j = 0; j < var_count_; ++j) {
+    bool kept = false;
+    for (int v : support) kept = kept || v == j;
+    require(kept || !depends_on(j),
+            "TruthTable::compacted: dropped variable " + std::to_string(j) +
+                " is not vacuous");
+  }
+  TruthTable t(static_cast<int>(support.size()));
+  const std::uint64_t n = t.minterm_count();
+  for (std::uint64_t m = 0; m < n; ++m) {
+    std::uint64_t src = 0;
+    for (std::size_t i = 0; i < support.size(); ++i) {
+      if ((m >> i) & 1ULL) src |= 1ULL << support[i];
+    }
+    if (value_at(src)) t.words_[m >> 6] |= 1ULL << (m & 63);
+  }
+  return t;
+}
+
+double TruthTable::probability(const std::vector<double>& probs) const {
+  require(static_cast<int>(probs.size()) == var_count_,
+          "TruthTable::probability: expected " + std::to_string(var_count_) +
+              " probabilities, got " + std::to_string(probs.size()));
+  for (double p : probs) {
+    require(p >= 0.0 && p <= 1.0,
+            "TruthTable::probability: probability out of [0,1]");
+  }
+  const std::uint64_t n = minterm_count();
+  double total = 0.0;
+  for (std::uint64_t m = 0; m < n; ++m) {
+    if (!value_at(m)) continue;
+    double weight = 1.0;
+    for (int j = 0; j < var_count_; ++j) {
+      weight *= ((m >> j) & 1ULL) ? probs[static_cast<std::size_t>(j)]
+                                  : 1.0 - probs[static_cast<std::size_t>(j)];
+    }
+    total += weight;
+  }
+  return total;
+}
+
+std::string TruthTable::to_binary_string() const {
+  const std::uint64_t n = minterm_count();
+  std::string s;
+  s.reserve(n);
+  for (std::uint64_t m = 0; m < n; ++m) s += value_at(m) ? '1' : '0';
+  return s;
+}
+
+void TruthTable::mask_tail() {
+  const std::uint64_t n = minterm_count();
+  if (n % 64 != 0) {
+    words_.back() &= (1ULL << (n % 64)) - 1;
+  }
+}
+
+}  // namespace tr::boolfn

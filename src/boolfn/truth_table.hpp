@@ -1,0 +1,142 @@
+#pragma once
+// Dense truth-table representation of boolean functions over a small,
+// fixed variable universe.
+//
+// This is the boolean kernel for the whole library: gate output functions,
+// the path functions H_nk / G_nk of the power model (paper Sec. 3.3) and
+// BLIF .names nodes are all TruthTables. Gate functions have at most ~8
+// inputs (the largest Table 2 cell, aoi222/oai222, has 6), so a dense
+// bitset beats a BDD package both in code size and constant factors.
+//
+// Variables are identified by their index 0..var_count()-1. Two tables can
+// be combined only when they share the same var_count (helpers widen
+// automatically where noted).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tr::boolfn {
+
+/// Boolean function of `n` variables stored as a 2^n-bit dense table.
+class TruthTable {
+public:
+  /// Maximum supported variable count. 2^20 bits = 128 KiB per table; BLIF
+  /// nodes wider than this are rejected by the parser (the mapper
+  /// decomposes them first).
+  static constexpr int max_vars = 20;
+
+  /// Constant-false function of `var_count` variables.
+  explicit TruthTable(int var_count = 0);
+
+  /// Named constructors -----------------------------------------------------
+
+  /// Constant zero / one over `var_count` variables.
+  static TruthTable zero(int var_count);
+  static TruthTable one(int var_count);
+
+  /// Projection onto variable `var` (the function f = x_var).
+  static TruthTable variable(int var_count, int var);
+
+  /// Builds from an explicit minterm value list, bit i = f(minterm i).
+  /// `bits.size()` must equal 2^var_count.
+  static TruthTable from_bits(int var_count, const std::vector<bool>& bits);
+
+  /// Parses a function given as a sum of cube strings over var_count
+  /// variables, e.g. {"1-0", "011"}: '1' positive literal, '0' negative,
+  /// '-' don't care. Position j in the cube refers to variable j. An empty
+  /// cube list yields constant zero; an empty cube ("---…") yields one.
+  static TruthTable from_cubes(int var_count,
+                               const std::vector<std::string>& cubes);
+
+  /// Observers ---------------------------------------------------------------
+
+  int var_count() const noexcept { return var_count_; }
+  std::uint64_t minterm_count() const noexcept { return 1ULL << var_count_; }
+
+  bool is_zero() const noexcept;
+  bool is_one() const noexcept;
+
+  /// Value of the function at the given minterm (bit j of `minterm` is the
+  /// value of variable j).
+  bool value_at(std::uint64_t minterm) const;
+
+  /// Number of satisfying minterms.
+  std::uint64_t count_ones() const noexcept;
+
+  /// True if the function depends on variable `var`.
+  bool depends_on(int var) const;
+
+  /// Indices of all variables the function truly depends on.
+  std::vector<int> support() const;
+
+  /// Algebra (operands must have equal var_count) ----------------------------
+
+  TruthTable operator&(const TruthTable& rhs) const;
+  TruthTable operator|(const TruthTable& rhs) const;
+  TruthTable operator^(const TruthTable& rhs) const;
+  TruthTable operator~() const;
+  TruthTable& operator&=(const TruthTable& rhs);
+  TruthTable& operator|=(const TruthTable& rhs);
+  TruthTable& operator^=(const TruthTable& rhs);
+
+  bool operator==(const TruthTable& rhs) const;
+  bool operator!=(const TruthTable& rhs) const { return !(*this == rhs); }
+
+  /// Cofactors and derived operators -----------------------------------------
+
+  /// Shannon cofactor f|_{var=value}; result keeps the same var_count (the
+  /// cofactored variable becomes vacuous).
+  TruthTable cofactor(int var, bool value) const;
+
+  /// Boolean difference df/dvar = f|_{var=1} XOR f|_{var=0}
+  /// (paper Sec. 3.2). Minterms where it is 1 are exactly the input states
+  /// in which a toggle of `var` toggles f.
+  TruthTable boolean_difference(int var) const;
+
+  /// Existential quantification: f|_{var=0} | f|_{var=1}.
+  TruthTable exists(int var) const;
+
+  /// Composition: substitutes variable `var` by function `g` (same
+  /// var_count): f[var <- g] = g·f|var=1 + ḡ·f|var=0.
+  TruthTable compose(int var, const TruthTable& g) const;
+
+  /// Returns the same function expressed over `new_var_count >= var_count()`
+  /// variables (extra variables vacuous).
+  TruthTable widened(int new_var_count) const;
+
+  /// Returns the function with variables permuted: new variable `perm[j]`
+  /// takes the role of old variable `j`. `perm` must be a permutation of
+  /// 0..var_count-1.
+  TruthTable permuted(const std::vector<int>& perm) const;
+
+  /// Projects the function onto `support` (typically this->support()):
+  /// the result has support.size() variables, variable i of the result
+  /// playing the role of variable support[i]. Variables outside `support`
+  /// must be vacuous.
+  TruthTable compacted(const std::vector<int>& support) const;
+
+  /// Statistics ---------------------------------------------------------------
+
+  /// Exact probability that f = 1 when each variable j is an independent
+  /// 0-1 random variable with P(x_j = 1) = probs[j]
+  /// (Parker–McCluskey, spatial independence).
+  double probability(const std::vector<double>& probs) const;
+
+  /// Rendering ----------------------------------------------------------------
+
+  /// Binary string, minterm 0 first, e.g. "0111" for 2-input OR.
+  std::string to_binary_string() const;
+
+private:
+  std::uint64_t word_count() const noexcept {
+    return (minterm_count() + 63) / 64;
+  }
+  /// Clears the unused bits of the last word (invariant after every op).
+  void mask_tail();
+
+  int var_count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tr::boolfn

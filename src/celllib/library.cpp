@@ -1,0 +1,127 @@
+#include "celllib/library.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tr::celllib {
+
+using gategraph::SpNode;
+
+void CellLibrary::add(Cell cell) {
+  require(!cells_.contains(cell.name()),
+          "CellLibrary: duplicate cell name '" + cell.name() + "'");
+  insertion_order_.push_back(cell.name());
+  cells_.emplace(cell.name(), std::move(cell));
+}
+
+bool CellLibrary::contains(const std::string& name) const {
+  return cells_.contains(name);
+}
+
+const Cell& CellLibrary::cell(const std::string& name) const {
+  const auto it = cells_.find(name);
+  require(it != cells_.end(), "CellLibrary: unknown cell '" + name + "'");
+  return it->second;
+}
+
+const Cell* CellLibrary::find(const std::string& name) const {
+  const auto it = cells_.find(name);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> CellLibrary::cell_names() const {
+  return insertion_order_;
+}
+
+namespace {
+SpNode T(int i) { return SpNode::transistor(i); }
+SpNode S(std::vector<SpNode> c) { return SpNode::series(std::move(c)); }
+SpNode P(std::vector<SpNode> c) { return SpNode::parallel(std::move(c)); }
+
+std::vector<std::string> pins(int n) {
+  static const char* names[] = {"a", "b", "c", "d", "e", "f"};
+  require(n >= 1 && n <= 6, "pins: supported pin counts are 1..6");
+  return {names, names + n};
+}
+}  // namespace
+
+CellLibrary CellLibrary::standard() {
+  CellLibrary lib;
+  // Single-input and simple stacks.
+  lib.add(Cell("inv", pins(1), T(0)));
+  lib.add(Cell("nand2", pins(2), S({T(0), T(1)})));
+  lib.add(Cell("nand3", pins(3), S({T(0), T(1), T(2)})));
+  lib.add(Cell("nand4", pins(4), S({T(0), T(1), T(2), T(3)})));
+  lib.add(Cell("nor2", pins(2), P({T(0), T(1)})));
+  lib.add(Cell("nor3", pins(3), P({T(0), T(1), T(2)})));
+  lib.add(Cell("nor4", pins(4), P({T(0), T(1), T(2), T(3)})));
+  // AND-OR-INVERT family: y = !(products summed).
+  lib.add(Cell("aoi21", pins(3), P({S({T(0), T(1)}), T(2)})));
+  lib.add(Cell("aoi22", pins(4), P({S({T(0), T(1)}), S({T(2), T(3)})})));
+  lib.add(Cell("aoi31", pins(4), P({S({T(0), T(1), T(2)}), T(3)})));
+  lib.add(Cell("aoi211", pins(4), P({S({T(0), T(1)}), T(2), T(3)})));
+  lib.add(Cell("aoi221", pins(5),
+               P({S({T(0), T(1)}), S({T(2), T(3)}), T(4)})));
+  lib.add(Cell("aoi222", pins(6),
+               P({S({T(0), T(1)}), S({T(2), T(3)}), S({T(4), T(5)})})));
+  lib.add(Cell("aoi32", pins(5),
+               P({S({T(0), T(1), T(2)}), S({T(3), T(4)})})));
+  lib.add(Cell("aoi33", pins(6),
+               P({S({T(0), T(1), T(2)}), S({T(3), T(4), T(5)})})));
+  // OR-AND-INVERT family: y = !(sums multiplied).
+  lib.add(Cell("oai21", pins(3), S({P({T(0), T(1)}), T(2)})));
+  lib.add(Cell("oai22", pins(4), S({P({T(0), T(1)}), P({T(2), T(3)})})));
+  lib.add(Cell("oai31", pins(4), S({P({T(0), T(1), T(2)}), T(3)})));
+  lib.add(Cell("oai211", pins(4), S({P({T(0), T(1)}), T(2), T(3)})));
+  lib.add(Cell("oai221", pins(5),
+               S({P({T(0), T(1)}), P({T(2), T(3)}), T(4)})));
+  lib.add(Cell("oai222", pins(6),
+               S({P({T(0), T(1)}), P({T(2), T(3)}), P({T(4), T(5)})})));
+  lib.add(Cell("oai32", pins(5),
+               S({P({T(0), T(1), T(2)}), P({T(3), T(4)})})));
+  lib.add(Cell("oai33", pins(6),
+               S({P({T(0), T(1), T(2)}), P({T(3), T(4), T(5)})})));
+  return lib;
+}
+
+std::optional<std::pair<std::string, std::vector<int>>>
+CellLibrary::match_function(const boolfn::TruthTable& f) const {
+  const std::vector<int> support = f.support();
+  const int n = f.var_count();
+
+  for (const std::string& name : insertion_order_) {
+    const Cell& cell = cells_.at(name);
+    if (cell.input_count() != static_cast<int>(support.size())) continue;
+
+    // Try every assignment of cell pins to the support variables.
+    std::vector<int> sigma(support.size());
+    for (std::size_t i = 0; i < sigma.size(); ++i) sigma[i] = static_cast<int>(i);
+    const boolfn::TruthTable widened = cell.function().widened(n);
+    do {
+      std::vector<int> perm(static_cast<std::size_t>(n), -1);
+      std::vector<bool> used(static_cast<std::size_t>(n), false);
+      for (std::size_t j = 0; j < sigma.size(); ++j) {
+        const int target = support[static_cast<std::size_t>(sigma[j])];
+        perm[j] = target;
+        used[static_cast<std::size_t>(target)] = true;
+      }
+      int next_free = 0;
+      for (int j = cell.input_count(); j < n; ++j) {
+        while (used[static_cast<std::size_t>(next_free)]) ++next_free;
+        perm[static_cast<std::size_t>(j)] = next_free;
+        used[static_cast<std::size_t>(next_free)] = true;
+      }
+      if (widened.permuted(perm) == f) {
+        std::vector<int> pin_to_var(sigma.size());
+        for (std::size_t j = 0; j < sigma.size(); ++j) {
+          pin_to_var[j] = support[static_cast<std::size_t>(sigma[j])];
+        }
+        return std::make_pair(name, pin_to_var);
+      }
+    } while (std::next_permutation(sigma.begin(), sigma.end()));
+  }
+  return std::nullopt;
+}
+
+}  // namespace tr::celllib

@@ -1,0 +1,51 @@
+#pragma once
+// The standard cell library of the paper (Table 2): inverter, NAND/NOR
+// stacks, and the AOI/OAI complex-gate families, all series-parallel and
+// all reorderable. Extended with nand4/nor2/aoi31/oai31/aoi32/oai32/
+// aoi33/oai33 so the mapper has a complete 2-to-6 input complex-gate
+// family (documented in DESIGN.md).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "celllib/cell.hpp"
+
+namespace tr::celllib {
+
+/// An immutable collection of cells indexed by name.
+class CellLibrary {
+public:
+  /// The paper's Table 2 library.
+  static CellLibrary standard();
+
+  /// Builds an empty library (for tests).
+  CellLibrary() = default;
+
+  /// Adds a cell; rejects duplicate names.
+  void add(Cell cell);
+
+  bool contains(const std::string& name) const;
+  /// Throws tr::Error for unknown names.
+  const Cell& cell(const std::string& name) const;
+  /// Returns nullptr for unknown names.
+  const Cell* find(const std::string& name) const;
+
+  std::vector<std::string> cell_names() const;
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  /// Finds a cell and an input permutation realising `f`:
+  /// returns (cell name, perm) such that
+  /// cell.function().permuted(perm) == f widened to f.var_count().
+  /// perm[cell_pin] = function variable index. Only cells whose input
+  /// count equals |support(f)| are considered. nullopt if no match.
+  std::optional<std::pair<std::string, std::vector<int>>> match_function(
+      const boolfn::TruthTable& f) const;
+
+private:
+  std::map<std::string, Cell> cells_;
+  std::vector<std::string> insertion_order_;
+};
+
+}  // namespace tr::celllib

@@ -1,0 +1,27 @@
+#pragma once
+// Technology parameters of the target process. The paper evaluates a
+// 1996-era Sea-of-Gates style; absolute values only scale the results, so
+// they are centralised here and injectable everywhere (DESIGN.md Sec. 4).
+
+namespace tr::celllib {
+
+/// Electrical parameters used by the power model, the delay model and the
+/// switch-level simulator.
+struct Tech {
+  double vdd = 5.0;       ///< supply voltage [V]
+  double c_diff = 2e-15;  ///< diffusion cap per transistor terminal [F]
+  double c_gate = 5e-15;  ///< gate cap per transistor gate pin [F]
+  double c_wire = 4e-15;  ///< fixed wire cap per output net [F]
+  double r_n = 10e3;      ///< on-resistance of an NMOS device [ohm]
+  double r_p = 20e3;      ///< on-resistance of a PMOS device [ohm]
+
+  /// Energy of one full swing of capacitance `c`: c * vdd^2 / 2 per
+  /// transition (matching the paper's Pow = 1/2 C V^2 D / Tcyc convention,
+  /// where D counts both rising and falling transitions).
+  double energy_per_transition(double c) const { return 0.5 * c * vdd * vdd; }
+};
+
+/// The default technology used across tests and benchmarks.
+inline Tech default_tech() { return Tech{}; }
+
+}  // namespace tr::celllib

@@ -1,0 +1,39 @@
+#pragma once
+// Liberty-flavoured library characterisation writer.
+//
+// Emits a .lib-style description of the cell library: per-cell area,
+// logic function, pin capacitances, and — the part specific to this
+// project — one timing/power record per *transistor configuration*,
+// characterised with the extended power model and the Elmore delay
+// model at a reference load and input statistics. This is what the
+// paper's conclusion (a) asks library teams to build: "current
+// libraries may be upgraded with more instances of the gates with
+// different transistor reorderings".
+//
+// The dialect is a readable subset of Liberty (group/attribute syntax);
+// it is meant for inspection and downstream tooling of this project,
+// not for sign-off consumption by commercial tools.
+
+#include <iosfwd>
+
+#include "boolfn/signal.hpp"
+#include "celllib/library.hpp"
+
+namespace tr::celllib {
+
+/// Characterisation operating point.
+struct LibertyOptions {
+  double reference_load = 20e-15;  ///< output load for timing/power [F]
+  /// Input statistics applied to every pin during power characterisation.
+  boolfn::SignalStats reference_stats{0.5, 1e5};
+  /// Include one `reordering_config` group per configuration (can be
+  /// large for aoi33/oai33: 72 configs). When false, only the canonical
+  /// configuration is characterised.
+  bool all_configurations = true;
+};
+
+/// Writes the whole library.
+void write_liberty(const CellLibrary& library, const Tech& tech,
+                   std::ostream& out, const LibertyOptions& options = {});
+
+}  // namespace tr::celllib

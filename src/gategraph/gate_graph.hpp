@@ -1,0 +1,76 @@
+#pragma once
+// Flat transistor-graph view of a GateTopology (paper Fig. 2a) and the
+// H_nk / G_nk path functions of the power model (paper Fig. 2b).
+//
+// Node numbering is deterministic:
+//   0 = vss, 1 = vdd, 2 = y (output), 3.. = internal nodes
+// with internal nodes assigned in pre-order over the pull-down tree
+// first, then the pull-up tree — matching GateTopology's pivot index
+// space exactly (internal node k <-> graph node 3+k).
+
+#include <string>
+#include <vector>
+
+#include "boolfn/truth_table.hpp"
+#include "gategraph/gate_topology.hpp"
+#include "gategraph/sp_tree.hpp"
+
+namespace tr::gategraph {
+
+/// One transistor edge. `node_out` is the output-side terminal, `node_rail`
+/// the rail-side terminal (drain/source distinction is irrelevant for the
+/// boolean path analysis but the orientation aids debugging and the delay
+/// model).
+struct Transistor {
+  DeviceType type = DeviceType::nmos;
+  int input = -1;      ///< gate-input index driving this device
+  int node_out = -1;   ///< terminal closer to the output node
+  int node_rail = -1;  ///< terminal closer to the rail
+};
+
+class GateGraph {
+public:
+  static constexpr int vss_node = 0;
+  static constexpr int vdd_node = 1;
+  static constexpr int output_node = 2;
+  static constexpr int first_internal_node = 3;
+
+  explicit GateGraph(const GateTopology& topology);
+
+  int input_count() const noexcept { return input_count_; }
+  int node_count() const noexcept { return node_count_; }
+  int internal_node_count() const noexcept {
+    return node_count_ - first_internal_node;
+  }
+  const std::vector<Transistor>& transistors() const noexcept {
+    return transistors_;
+  }
+
+  /// Boolean function of all rail paths from `node` to vdd (H_nk when
+  /// `node` is internal or the output). Implemented as the paper's
+  /// depth-first minterm enumeration generalised to both rails: a simple
+  /// path contributes the AND of the conduction literals of its
+  /// transistors; rails are never traversed through.
+  boolfn::TruthTable h_function(int node) const;
+
+  /// Boolean function of all rail paths from `node` to vss (G_nk).
+  boolfn::TruthTable g_function(int node) const;
+
+  /// Number of transistor terminals incident to each node; the diffusion
+  /// capacitance of a node is proportional to this count.
+  std::vector<int> terminal_counts() const;
+
+  /// Human-readable node name ("vss", "vdd", "y", "n0", "n1", ...).
+  std::string node_name(int node) const;
+
+private:
+  boolfn::TruthTable path_function(int node, int rail) const;
+
+  int input_count_ = 0;
+  int node_count_ = 0;
+  std::vector<Transistor> transistors_;
+  /// adjacency_[v] = indices into transistors_ incident to node v.
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace tr::gategraph

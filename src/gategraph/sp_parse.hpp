@@ -1,0 +1,30 @@
+#pragma once
+// Parser for the textual SP-network encoding produced by encode():
+//
+//   tree     := leaf | composite
+//   leaf     := "T" <input-index>
+//   composite:= ("S" | "P") "(" tree ("," tree)+ ")"
+//
+// encode()/parse_sp_tree() round-trip exactly (modulo the canonical
+// parallel-child sort that encode applies). Together with
+// GateTopology::from_keys this lets optimized transistor configurations
+// be serialised (netlist::write_config_sidecar) and restored — plain
+// BLIF .gate lines cannot carry the ordering.
+
+#include <string>
+#include <string_view>
+
+#include "gategraph/gate_topology.hpp"
+#include "gategraph/sp_tree.hpp"
+
+namespace tr::gategraph {
+
+/// Parses one SP tree. Throws tr::Error on malformed input.
+SpNode parse_sp_tree(std::string_view text);
+
+/// Rebuilds a configuration from a canonical key
+/// ("<nmos-tree>|<pmos-tree>", as produced by GateTopology::canonical_key).
+/// Validates complementarity. `input_count` must cover all leaf indices.
+GateTopology topology_from_key(std::string_view key, int input_count);
+
+}  // namespace tr::gategraph

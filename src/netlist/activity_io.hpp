@@ -1,0 +1,34 @@
+#pragma once
+// Switching-activity file I/O (a SAIF-flavoured plain-text format).
+//
+// Real flows obtain input statistics from simulation traces rather than
+// the paper's synthetic scenarios; this format carries them:
+//
+//   # activity v1
+//   <net-name> <equilibrium-probability> <transition-density>
+//
+// Probabilities are in [0,1]; densities in transitions/second. The
+// reader resolves names against a netlist's primary inputs; the writer
+// can dump a whole circuit's propagated activity for inspection.
+
+#include <iosfwd>
+#include <map>
+
+#include "boolfn/signal.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tr::netlist {
+
+/// Writes one line per primary input (or per net when `all_nets`).
+void write_activity(const Netlist& netlist,
+                    const std::vector<boolfn::SignalStats>& net_stats,
+                    std::ostream& out, bool all_nets = false);
+
+/// Reads primary-input statistics. Every line must name a primary input
+/// of `netlist`; every primary input must be covered. Throws tr::Error /
+/// tr::ParseError on violations.
+std::map<NetId, boolfn::SignalStats> read_activity(
+    const Netlist& netlist, std::istream& in,
+    const std::string& source_name = "<activity>");
+
+}  // namespace tr::netlist

@@ -1,0 +1,42 @@
+#pragma once
+// BLIF (Berkeley Logic Interchange Format) I/O.
+//
+// Two dialects are supported, matching how the MCNC benchmarks circulate:
+//  * generic logic (.names blocks)  <-> LogicNetwork
+//  * mapped netlists (.gate blocks) <-> Netlist (cells resolved against a
+//    CellLibrary; pin syntax `pin=net`, output pin named `y`)
+//
+// Supported directives: .model .inputs .outputs .names .gate .end,
+// '#' comments and '\' line continuations. Latch/clock directives are
+// rejected: the paper's flow is purely combinational.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/logic_network.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tr::netlist {
+
+/// Parses a generic BLIF (.names) model. `source_name` is used in error
+/// messages only.
+LogicNetwork read_blif_logic(std::istream& in,
+                             const std::string& source_name = "<blif>");
+LogicNetwork read_blif_logic_string(const std::string& text,
+                                    const std::string& source_name = "<blif>");
+LogicNetwork read_blif_logic_file(const std::string& path);
+
+/// Parses a mapped BLIF (.gate) model against `library`.
+Netlist read_blif_mapped(std::istream& in, const celllib::CellLibrary& library,
+                         const std::string& source_name = "<blif>");
+Netlist read_blif_mapped_string(const std::string& text,
+                                const celllib::CellLibrary& library,
+                                const std::string& source_name = "<blif>");
+
+/// Serialises a logic network as .names blocks (ISOP covers).
+void write_blif(const LogicNetwork& network, std::ostream& out);
+
+/// Serialises a mapped netlist as .gate lines.
+void write_blif(const Netlist& netlist, std::ostream& out);
+
+}  // namespace tr::netlist

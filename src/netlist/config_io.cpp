@@ -1,0 +1,59 @@
+#include "netlist/config_io.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "gategraph/sp_parse.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace tr::netlist {
+
+void write_config_sidecar(const Netlist& netlist, std::ostream& out) {
+  out << "# reordering configuration sidecar v1\n";
+  out << "# model " << netlist.name() << "\n";
+  for (const GateInst& gate : netlist.gates()) {
+    const auto& canonical =
+        netlist.library().cell(gate.cell).topology();
+    if (gate.config.canonical_key() == canonical.canonical_key()) continue;
+    out << netlist.net(gate.output).name << ' '
+        << gate.config.canonical_key() << '\n';
+  }
+}
+
+int read_config_sidecar(Netlist& netlist, std::istream& in,
+                        const std::string& source_name) {
+  std::map<std::string, GateId> by_output_net;
+  for (GateId g = 0; g < netlist.gate_count(); ++g) {
+    by_output_net.emplace(netlist.net(netlist.gate(g).output).name, g);
+  }
+
+  int applied = 0;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    const std::vector<std::string> tokens = split(body);
+    if (tokens.size() != 2) {
+      throw ParseError(source_name, line_no,
+                       "expected '<instance> <config-key>'");
+    }
+    const auto it = by_output_net.find(tokens[0]);
+    if (it == by_output_net.end()) {
+      throw ParseError(source_name, line_no,
+                       "no gate drives a net named '" + tokens[0] + "'");
+    }
+    const GateInst& gate = netlist.gate(it->second);
+    const int inputs = static_cast<int>(gate.inputs.size());
+    // set_config validates that the key computes the same function.
+    netlist.set_config(it->second,
+                       gategraph::topology_from_key(tokens[1], inputs));
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace tr::netlist

@@ -1,0 +1,63 @@
+#pragma once
+// Technology-independent logic network: named nodes carrying arbitrary
+// boolean functions of named fanins. This is what the BLIF reader
+// produces (.names blocks) and what the tech mapper consumes.
+
+#include <string>
+#include <vector>
+
+#include "boolfn/truth_table.hpp"
+
+namespace tr::netlist {
+
+/// One logic node: signal `name` = function(fanins).
+struct LogicNode {
+  std::string name;
+  std::vector<std::string> fanins;
+  /// Function over the fanins; variable j = fanins[j]. Constant nodes
+  /// have no fanins and a 0-variable table.
+  boolfn::TruthTable function{0};
+};
+
+/// A multi-level combinational logic network.
+class LogicNetwork {
+public:
+  explicit LogicNetwork(std::string model_name = "top")
+      : model_(std::move(model_name)) {}
+
+  const std::string& model() const noexcept { return model_; }
+
+  void add_input(const std::string& name);
+  void add_output(const std::string& name);
+  /// Adds a node; the name must not collide with an input or another node.
+  void add_node(LogicNode node);
+
+  const std::vector<std::string>& inputs() const noexcept { return inputs_; }
+  const std::vector<std::string>& outputs() const noexcept { return outputs_; }
+  const std::vector<LogicNode>& nodes() const noexcept { return nodes_; }
+
+  /// Index of the node driving `name`, or -1 (primary input or unknown).
+  int node_index(const std::string& name) const;
+  bool is_input(const std::string& name) const;
+
+  /// Node indices ordered so each node follows all its fanin nodes.
+  /// Throws on cycles or undriven fanins.
+  std::vector<int> topological_nodes() const;
+
+  /// Checks: every output and every fanin is either an input or a node;
+  /// no duplicate signal names; acyclic.
+  void validate() const;
+
+  /// Evaluates all signals for one primary-input assignment (keyed by
+  /// input order). Returns values of the primary outputs, in output
+  /// order. Used by equivalence tests against mapped netlists.
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+
+private:
+  std::string model_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<LogicNode> nodes_;
+};
+
+}  // namespace tr::netlist

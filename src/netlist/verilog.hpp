@@ -1,0 +1,20 @@
+#pragma once
+// Structural Verilog writer for mapped netlists: one module, one cell
+// instantiation per gate with named port connections (.a(net), ... ,
+// .y(net)). Interchange with downstream flows; transistor orderings ride
+// in the configuration sidecar (config_io.hpp), referenced from a header
+// comment.
+
+#include <iosfwd>
+
+#include "netlist/netlist.hpp"
+
+namespace tr::netlist {
+
+/// Writes the netlist as a structural Verilog module. Net names are
+/// sanitised into Verilog identifiers (non-alphanumerics -> '_', leading
+/// digit escaped); the original name is kept in a trailing comment when
+/// it had to change.
+void write_verilog(const Netlist& netlist, std::ostream& out);
+
+}  // namespace tr::netlist

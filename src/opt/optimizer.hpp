@@ -1,0 +1,92 @@
+#pragma once
+// The paper's power-optimization algorithm (Sec. 4, Fig. 3).
+//
+// One topological traversal of the mapped netlist. For every gate:
+// obtain the equilibrium probabilities and transition densities of its
+// inputs (already available: fan-in gates precede it), exhaustively
+// enumerate its transistor reorderings (Fig. 4), score each with the
+// extended power model (Sec. 3.3), commit the best one, and propagate
+// the output statistics — which are configuration-invariant, the
+// monotonic property of Sec. 4.2 that makes this greedy pass
+// model-optimal for the whole circuit.
+
+#include <map>
+#include <vector>
+
+#include "boolfn/signal.hpp"
+#include "celllib/tech.hpp"
+#include "netlist/netlist.hpp"
+#include "power/circuit_power.hpp"
+
+namespace tr::opt {
+
+/// Minimise for the paper's "best" netlists; maximise builds the "worst"
+/// ordering the evaluation compares against (Table 3: "best case with
+/// regard to worst case").
+enum class Objective { minimize_power, maximize_power };
+
+struct OptimizeOptions {
+  Objective objective = Objective::minimize_power;
+  /// Gate model used for scoring; output_only is the ablation baseline.
+  power::ModelKind model = power::ModelKind::extended;
+
+  /// Paper conclusion (b) / future work: when >= 0, arrival budgeting is
+  /// enabled. Static timing of the incoming netlist fixes a per-net
+  /// arrival budget of (1 + this fraction) x the original arrival; during
+  /// the traversal a candidate configuration is admissible only if the
+  /// gate's output still arrives within its budget given the *actual*
+  /// (already-optimized) input arrivals. The incoming configuration
+  /// always qualifies, and by induction the final critical path is within
+  /// (1 + fraction) of the original — 0.0 reproduces the paper's "power
+  /// reductions without increasing the delay of the circuit".
+  /// Negative (default) disables the constraint.
+  double max_circuit_delay_increase = -1.0;
+
+  /// Paper conclusion (a): when true, only configurations realisable by
+  /// the *same* sea-of-gates layout instance as the incoming one are
+  /// explored (pure input reordering). The gap to the unconstrained
+  /// optimum measures the value of adding reordered instances to the
+  /// library.
+  bool restrict_to_instance = false;
+};
+
+/// Per-gate outcome of the exhaustive exploration.
+struct GateDecision {
+  netlist::GateId gate = -1;
+  int config_count = 0;       ///< reorderings explored
+  double chosen_power = 0.0;  ///< model power of the committed config [W]
+  double best_power = 0.0;    ///< min over configs [W]
+  double worst_power = 0.0;   ///< max over configs [W]
+  double original_power = 0.0;  ///< power of the incoming config [W]
+  bool changed = false;         ///< configuration was rewritten
+};
+
+struct OptimizeReport {
+  std::vector<GateDecision> decisions;  ///< one per gate, GateId order
+  double model_power_before = 0.0;  ///< circuit gate power, incoming configs
+  double model_power_after = 0.0;   ///< circuit gate power, committed configs
+  int gates_changed = 0;
+  /// Candidates rejected by the delay constraint (0 when disabled).
+  int configs_rejected_by_delay = 0;
+  /// Candidates skipped by the instance restriction (0 when disabled).
+  int configs_rejected_by_instance = 0;
+};
+
+/// Scores every reordering of `config` under the given input statistics
+/// and external load; returns (configuration, model power) pairs in
+/// enumeration order.
+std::vector<std::pair<gategraph::GateTopology, double>> score_configurations(
+    const gategraph::GateTopology& config,
+    const std::vector<boolfn::SignalStats>& inputs, double external_load,
+    const celllib::Tech& tech,
+    power::ModelKind model = power::ModelKind::extended);
+
+/// Optimizes `netlist` in place (paper Fig. 3). `pi_stats` must cover all
+/// primary inputs. Deterministic: ties keep the first configuration in
+/// enumeration order.
+OptimizeReport optimize(netlist::Netlist& netlist,
+                        const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
+                        const celllib::Tech& tech,
+                        const OptimizeOptions& options = {});
+
+}  // namespace tr::opt

@@ -1,0 +1,79 @@
+#include "opt/rule_based.hpp"
+
+#include <algorithm>
+
+#include "power/circuit_power.hpp"
+#include "util/error.hpp"
+
+namespace tr::opt {
+
+using boolfn::SignalStats;
+using gategraph::SpNode;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+/// Hottest input density within the subtree.
+double temperature(const SpNode& node, const std::vector<double>& density) {
+  if (node.is_leaf()) {
+    return density[static_cast<std::size_t>(node.input)];
+  }
+  double t = 0.0;
+  for (const SpNode& child : node.children) {
+    t = std::max(t, temperature(child, density));
+  }
+  return t;
+}
+
+/// Recursively sorts series children by descending temperature (stable,
+/// so ties keep the incoming order). Parallel children are left alone —
+/// their order is electrically meaningless.
+SpNode apply_rule(const SpNode& node, const std::vector<double>& density) {
+  if (node.is_leaf()) return node;
+  SpNode out;
+  out.kind = node.kind;
+  out.children.reserve(node.children.size());
+  for (const SpNode& child : node.children) {
+    out.children.push_back(apply_rule(child, density));
+  }
+  if (node.kind == SpNode::Kind::series) {
+    std::stable_sort(out.children.begin(), out.children.end(),
+                     [&](const SpNode& a, const SpNode& b) {
+                       return temperature(a, density) >
+                              temperature(b, density);
+                     });
+  }
+  return out;
+}
+
+}  // namespace
+
+RuleBasedReport optimize_rule_based(
+    Netlist& netlist, const std::map<NetId, SignalStats>& pi_stats) {
+  netlist.validate();
+  const power::CircuitActivity activity =
+      power::propagate_activity(netlist, pi_stats);
+
+  RuleBasedReport report;
+  for (GateId g = 0; g < netlist.gate_count(); ++g) {
+    const netlist::GateInst& inst = netlist.gate(g);
+    std::vector<double> density;
+    density.reserve(inst.inputs.size());
+    for (NetId in : inst.inputs) {
+      density.push_back(
+          activity.net_stats[static_cast<std::size_t>(in)].density);
+    }
+    gategraph::GateTopology candidate(apply_rule(inst.config.nmos(), density),
+                                      apply_rule(inst.config.pmos(), density),
+                                      inst.config.input_count());
+    if (candidate.canonical_key() != inst.config.canonical_key()) {
+      netlist.set_config(g, std::move(candidate));
+      ++report.gates_changed;
+    }
+  }
+  return report;
+}
+
+}  // namespace tr::opt

@@ -1,0 +1,38 @@
+#pragma once
+// Rule-based reordering baseline (paper Sec. 2 related work).
+//
+// Shen, Lin and Wang [9] give fixed transistor-reordering *rules* for
+// power; Carlson [2] reorders without any activity model at all. This
+// baseline implements the rule family those papers represent: within
+// every series chain, order the sub-networks by the switching activity
+// of their inputs — the hottest device goes next to the output node
+// (the serial-stack result of Hossain et al. [4], which our model
+// reproduces as a closed form, see docs/MODEL.md Sec. 4). No power
+// model is evaluated; probabilities are ignored.
+//
+// The gap between this baseline and the model-driven optimizer is the
+// value of the paper's actual contribution: a model that weighs
+// probabilities, per-node capacitances and both networks together
+// instead of a one-dimensional rule.
+
+#include <map>
+
+#include "boolfn/signal.hpp"
+#include "celllib/tech.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tr::opt {
+
+struct RuleBasedReport {
+  int gates_changed = 0;
+};
+
+/// Reorders every gate of `netlist` in place by the activity rule:
+/// series children sorted by descending subtree temperature (maximum
+/// input transition density in the subtree), output side first.
+/// Deterministic: ties keep the incoming relative order.
+RuleBasedReport optimize_rule_based(
+    netlist::Netlist& netlist,
+    const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats);
+
+}  // namespace tr::opt

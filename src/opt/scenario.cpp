@@ -1,0 +1,29 @@
+#include "opt/scenario.hpp"
+
+#include "util/rng.hpp"
+
+namespace tr::opt {
+
+std::map<netlist::NetId, boolfn::SignalStats> scenario_a(
+    const netlist::Netlist& netlist, std::uint64_t seed, double max_density) {
+  Rng rng(seed);
+  std::map<netlist::NetId, boolfn::SignalStats> stats;
+  for (netlist::NetId id : netlist.primary_inputs()) {
+    boolfn::SignalStats s;
+    s.prob = rng.next_double();
+    s.density = rng.uniform(0.0, max_density);
+    stats[id] = s;
+  }
+  return stats;
+}
+
+std::map<netlist::NetId, boolfn::SignalStats> scenario_b(
+    const netlist::Netlist& netlist, double clock_hz) {
+  std::map<netlist::NetId, boolfn::SignalStats> stats;
+  for (netlist::NetId id : netlist.primary_inputs()) {
+    stats[id] = boolfn::SignalStats{0.5, 0.5 * clock_hz};
+  }
+  return stats;
+}
+
+}  // namespace tr::opt

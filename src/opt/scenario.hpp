@@ -1,0 +1,31 @@
+#pragma once
+// The two evaluation scenarios of paper Sec. 5.1 / Fig. 6.
+//
+// Scenario A: the circuit is embedded in a larger digital system, so its
+// primary inputs carry arbitrary statistics — equilibrium probabilities
+// uniform in [0,1] and transition densities uniform in [0, 1e6]
+// transitions/second.
+//
+// Scenario B: the circuit *is* the digital system, with latches at its
+// inputs and a fixed clock: every primary input has probability 0.5 and
+// 0.5 transitions per cycle.
+
+#include <cstdint>
+#include <map>
+
+#include "boolfn/signal.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tr::opt {
+
+/// Scenario A input statistics, one independent draw per primary input.
+std::map<netlist::NetId, boolfn::SignalStats> scenario_a(
+    const netlist::Netlist& netlist, std::uint64_t seed,
+    double max_density = 1e6);
+
+/// Scenario B input statistics: P = 0.5, D = 0.5 transitions per clock
+/// cycle at the given clock frequency.
+std::map<netlist::NetId, boolfn::SignalStats> scenario_b(
+    const netlist::Netlist& netlist, double clock_hz = 1e6);
+
+}  // namespace tr::opt

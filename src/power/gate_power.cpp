@@ -1,0 +1,115 @@
+#include "power/gate_power.hpp"
+
+#include "util/error.hpp"
+
+namespace tr::power {
+
+using boolfn::SignalStats;
+using boolfn::TruthTable;
+using gategraph::GateGraph;
+
+namespace {
+
+std::vector<double> probs_of(const std::vector<SignalStats>& inputs) {
+  std::vector<double> probs;
+  probs.reserve(inputs.size());
+  for (const auto& s : inputs) probs.push_back(s.prob);
+  return probs;
+}
+
+/// Evaluates one node of the gate under the extended model.
+NodePower evaluate_node(const GateGraph& graph, int node, double cap,
+                        const std::vector<SignalStats>& inputs,
+                        const std::vector<double>& probs,
+                        const celllib::Tech& tech) {
+  const TruthTable h = graph.h_function(node);
+  const TruthTable g = graph.g_function(node);
+  // No rail-to-rail short through any node in a complementary gate.
+  TR_ASSERT((h & g).is_zero());
+
+  const double ph = h.probability(probs);
+  const double pg = g.probability(probs);
+
+  NodePower result;
+  result.node = node;
+  result.capacitance = cap;
+  const double denom = ph + pg;
+  if (denom <= 0.0) {
+    // The node is never driven under these input statistics (possible when
+    // some input probability is exactly 0 or 1): it floats and never
+    // switches.
+    result.prob = 0.0;
+    result.density = 0.0;
+    result.power = 0.0;
+    return result;
+  }
+  result.prob = ph / denom;
+
+  double transitions = 0.0;
+  for (int i = 0; i < graph.input_count(); ++i) {
+    const double di = inputs[static_cast<std::size_t>(i)].density;
+    if (di == 0.0) continue;
+    const double charge_sensitivity =
+        h.boolean_difference(i).probability(probs);
+    const double discharge_sensitivity =
+        g.boolean_difference(i).probability(probs);
+    transitions += di * (charge_sensitivity * (1.0 - result.prob) +
+                         discharge_sensitivity * result.prob);
+  }
+  result.density = transitions;
+  result.power = tech.energy_per_transition(cap) * transitions;
+  return result;
+}
+
+}  // namespace
+
+GatePower evaluate_gate_power(const GateGraph& graph,
+                              const std::vector<double>& node_caps,
+                              const std::vector<SignalStats>& inputs,
+                              const celllib::Tech& tech) {
+  require(static_cast<int>(inputs.size()) == graph.input_count(),
+          "evaluate_gate_power: input statistics arity mismatch");
+  require(static_cast<int>(node_caps.size()) == graph.node_count(),
+          "evaluate_gate_power: node capacitance arity mismatch");
+  const std::vector<double> probs = probs_of(inputs);
+
+  GatePower result;
+  for (int k = 0; k < graph.internal_node_count(); ++k) {
+    const int node = GateGraph::first_internal_node + k;
+    result.nodes.push_back(
+        evaluate_node(graph, node, node_caps[static_cast<std::size_t>(node)],
+                      inputs, probs, tech));
+  }
+  result.nodes.push_back(evaluate_node(
+      graph, GateGraph::output_node,
+      node_caps[static_cast<std::size_t>(GateGraph::output_node)], inputs,
+      probs, tech));
+
+  for (const NodePower& n : result.nodes) result.total_power += n.power;
+  const NodePower& out = result.nodes.back();
+  result.output = SignalStats{out.prob, out.density};
+  return result;
+}
+
+GatePower evaluate_output_only_power(const GateGraph& graph,
+                                     const std::vector<double>& node_caps,
+                                     const std::vector<SignalStats>& inputs,
+                                     const celllib::Tech& tech) {
+  require(static_cast<int>(inputs.size()) == graph.input_count(),
+          "evaluate_output_only_power: input statistics arity mismatch");
+  require(static_cast<int>(node_caps.size()) == graph.node_count(),
+          "evaluate_output_only_power: node capacitance arity mismatch");
+  const std::vector<double> probs = probs_of(inputs);
+
+  GatePower result;
+  result.nodes.push_back(evaluate_node(
+      graph, GateGraph::output_node,
+      node_caps[static_cast<std::size_t>(GateGraph::output_node)], inputs,
+      probs, tech));
+  result.total_power = result.nodes.back().power;
+  result.output =
+      SignalStats{result.nodes.back().prob, result.nodes.back().density};
+  return result;
+}
+
+}  // namespace tr::power

@@ -1,0 +1,65 @@
+#pragma once
+// Event-driven switch-level simulator — the reproduction's stand-in for
+// the SLS simulator the paper uses to validate the model (Table 3,
+// column S; substitution documented in DESIGN.md Sec. 4).
+//
+// Semantics:
+//  * Primary inputs are continuous-time 0-1 Markov processes: holding
+//    times are exponential with rates chosen so the equilibrium
+//    probability is P and the transition density is D (paper Sec. 5.1:
+//    "time intervals between two consecutive transitions follow an
+//    exponential distribution with average 1/Dk").
+//  * Each gate is simulated at the transistor level: on every input
+//    change, each internal stack node charges if its pull-up path
+//    function H is true, discharges if its pull-down path function G is
+//    true, and *retains its state* otherwise (charge storage; no charge
+//    sharing, as the paper assumes).
+//  * Outputs commit after a per-pin Elmore delay with inertial
+//    filtering, so unequal path delays create glitches — the "useless
+//    signal transitions" of paper Sec. 1 — which the stochastic model
+//    cannot see. A zero-delay mode exists for model-validation tests.
+//  * Every transition of a node with capacitance C costs Vdd^2 * C / 2,
+//    matching the model's power convention.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "boolfn/signal.hpp"
+#include "celllib/tech.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tr::sim {
+
+struct SimOptions {
+  double warmup_time = 2e-5;   ///< settle time before measuring [s]
+  double measure_time = 1e-3;  ///< measurement window [s]
+  std::uint64_t seed = 1;      ///< RNG seed for the input processes
+  bool count_pi_energy = true; ///< include PI-net load switching energy
+  bool use_gate_delays = true; ///< false = zero-delay (no glitches)
+  std::uint64_t max_events = 200'000'000;  ///< runaway guard
+};
+
+/// Time-weighted statistics observed on one net during the window.
+struct NetObservation {
+  double prob = 0.0;     ///< fraction of time at '1'
+  double density = 0.0;  ///< transitions per second
+};
+
+struct SimResult {
+  double energy = 0.0;          ///< total switching energy in window [J]
+  double power = 0.0;           ///< energy / measure_time [W]
+  double output_node_energy = 0.0;
+  double internal_node_energy = 0.0;
+  double pi_energy = 0.0;
+  std::vector<double> per_gate_energy;  ///< indexed by GateId [J]
+  std::vector<NetObservation> nets;     ///< indexed by NetId
+  std::uint64_t event_count = 0;
+};
+
+/// Runs the simulation. `pi_stats` must cover every primary input.
+SimResult simulate(const netlist::Netlist& netlist,
+                   const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
+                   const celllib::Tech& tech, const SimOptions& options);
+
+}  // namespace tr::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Error handling for the transistor-reordering library.
+//
+// All recoverable failures (malformed netlists, unknown cells, invalid
+// arguments at API boundaries) throw tr::Error. Programming errors inside
+// the library use TR_ASSERT, which throws tr::InternalError so that tests
+// can exercise failure paths without aborting the process.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace tr {
+
+/// Base class for all exceptions thrown by the library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// Thrown when parsing a netlist/BLIF file fails.
+class ParseError : public Error {
+public:
+  ParseError(const std::string& file, int line, const std::string& message)
+      : Error(file + ":" + std::to_string(line) + ": " + message),
+        file_(file),
+        line_(line) {}
+
+  const std::string& file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+private:
+  std::string file_;
+  int line_;
+};
+
+/// Thrown when an internal invariant is violated (library bug).
+class InternalError : public Error {
+public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr,
+                                     const std::source_location& loc) {
+  throw InternalError(std::string("internal invariant violated: ") + expr +
+                      " at " + loc.file_name() + ":" +
+                      std::to_string(loc.line()) + " (" +
+                      loc.function_name() + ")");
+}
+}  // namespace detail
+
+/// Checks an internal invariant; throws InternalError when violated.
+/// Always enabled (the checks are cheap relative to the algorithms).
+#define TR_ASSERT(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::tr::detail::assert_fail(#expr, std::source_location::current()); \
+    }                                                                    \
+  } while (false)
+
+/// Throws tr::Error with the given message if `cond` is false. Used for
+/// validating user-supplied data at API boundaries.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw Error(message);
+}
+
+}  // namespace tr

@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tr {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percent_reduction(double baseline, double optimized) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - optimized) / baseline;
+}
+
+double percent_increase(double baseline, double value) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (value - baseline) / baseline;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace tr

@@ -1,0 +1,44 @@
+#pragma once
+// Lightweight descriptive statistics used by the simulator and the
+// benchmark harnesses (Welford running moments, min/max, relative change).
+
+#include <cstddef>
+#include <vector>
+
+namespace tr {
+
+/// Numerically stable running mean/variance accumulator (Welford).
+class RunningStats {
+public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double sem() const noexcept;
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentage reduction of `optimized` with respect to `baseline`:
+/// 100 * (baseline - optimized) / baseline. Returns 0 when baseline == 0.
+double percent_reduction(double baseline, double optimized);
+
+/// Percentage increase of `value` with respect to `baseline`:
+/// 100 * (value - baseline) / baseline. Returns 0 when baseline == 0.
+double percent_increase(double baseline, double value);
+
+/// Arithmetic mean of a vector; 0 for an empty vector.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace tr

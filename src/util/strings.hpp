@@ -1,0 +1,29 @@
+#pragma once
+// Small string helpers shared by the BLIF parser and report printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tr {
+
+/// Splits on any run of the characters in `delims`; no empty tokens.
+std::vector<std::string> split(std::string_view text,
+                               std::string_view delims = " \t");
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-casing (cell and net names are ASCII).
+std::string to_lower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Fixed-point formatting with `digits` decimals (printf %.*f).
+std::string format_fixed(double value, int digits);
+
+/// Joins the items with `sep` between them.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace tr

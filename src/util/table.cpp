@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tr {
+
+TextTable::TextTable(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  require(!header_.empty(), "TextTable: header must not be empty");
+  if (aligns_.empty()) {
+    aligns_.assign(header_.size(), Align::right);
+    aligns_[0] = Align::left;  // first column is usually a name
+  }
+  require(aligns_.size() == header_.size(),
+          "TextTable: alignment arity must match header arity");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "TextTable: row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::size_t TextTable::row_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : rows_) {
+    if (!r.empty()) ++n;
+  }
+  return n;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_line = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = widths[c] - cell.size();
+      os << ' ';
+      if (aligns_[c] == Align::right) os << std::string(pad, ' ');
+      os << cell;
+      if (aligns_[c] == Align::left) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  const auto print_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_line(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_line(row);
+    }
+  }
+  print_rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace tr

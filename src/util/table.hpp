@@ -1,0 +1,43 @@
+#pragma once
+// ASCII table printer used by every benchmark harness to emit the
+// paper-style tables (Table 1(b), Table 2, Table 3) with aligned columns.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tr {
+
+/// Column alignment within a TextTable.
+enum class Align { left, right };
+
+/// Builds and prints a fixed-column ASCII table.
+///
+/// Usage:
+///   TextTable t({"circuit", "G", "M", "S", "D"});
+///   t.add_row({"alu2", "401", "5.4", "4.5", "5.5"});
+///   t.print(std::cout);
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns = {});
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  std::size_t row_count() const noexcept;
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  // A separator is encoded as an empty row.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tr

@@ -1,0 +1,186 @@
+// Tests for the BLIF reader/writer, both the generic (.names) and the
+// mapped (.gate) dialects.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/classic.hpp"
+#include "benchgen/generators.hpp"
+#include "celllib/library.hpp"
+#include "netlist/blif.hpp"
+#include "util/error.hpp"
+
+namespace tr::netlist {
+namespace {
+
+using celllib::CellLibrary;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+TEST(BlifReader, ParsesC17) {
+  const LogicNetwork net =
+      read_blif_logic_string(benchgen::classic_blif("c17"), "c17");
+  EXPECT_EQ(net.model(), "c17");
+  EXPECT_EQ(net.inputs().size(), 5u);
+  EXPECT_EQ(net.outputs().size(), 2u);
+  EXPECT_EQ(net.nodes().size(), 6u);
+  // Every c17 node is a 2-input NAND.
+  for (const LogicNode& node : net.nodes()) {
+    EXPECT_EQ(node.function,
+              ~(boolfn::TruthTable::variable(2, 0) &
+                boolfn::TruthTable::variable(2, 1)))
+        << node.name;
+  }
+}
+
+TEST(BlifReader, C17TruthSpotChecks) {
+  const LogicNetwork net =
+      read_blif_logic_string(benchgen::classic_blif("c17"));
+  // All-zero inputs: every NAND of PIs outputs 1; g22 = nand(g10,g16).
+  const auto out0 = net.evaluate({false, false, false, false, false});
+  ASSERT_EQ(out0.size(), 2u);
+  // g10 = nand(g1,g3) = 1, g11 = nand(g3,g6) = 1, g16 = nand(g2,g11) = 1,
+  // g19 = nand(g11,g7) = 1, g22 = nand(1,1) = 0, g23 = nand(1,1) = 0.
+  EXPECT_FALSE(out0[0]);
+  EXPECT_FALSE(out0[1]);
+}
+
+TEST(BlifReader, OffsetCoverAndConstants) {
+  const char* text = R"(
+.model phases
+.inputs a b
+.outputs f g one
+# f specified through its offset: f = !(a & b)
+.names a b f
+11 0
+.names a b g
+11 1
+.names one
+1
+.end
+)";
+  const LogicNetwork net = read_blif_logic_string(text);
+  const auto f_idx = net.node_index("f");
+  ASSERT_GE(f_idx, 0);
+  EXPECT_EQ(net.nodes()[static_cast<std::size_t>(f_idx)].function,
+            ~(boolfn::TruthTable::variable(2, 0) &
+              boolfn::TruthTable::variable(2, 1)));
+  const auto one_idx = net.node_index("one");
+  ASSERT_GE(one_idx, 0);
+  EXPECT_TRUE(net.nodes()[static_cast<std::size_t>(one_idx)].function.is_one());
+}
+
+TEST(BlifReader, LineContinuationAndComments) {
+  const char* text =
+      ".model cont\n"
+      ".inputs a \\\n"
+      "  b\n"
+      ".outputs y  # trailing comment\n"
+      ".names a b y\n"
+      "11 1\n"
+      ".end\n";
+  const LogicNetwork net = read_blif_logic_string(text);
+  EXPECT_EQ(net.inputs().size(), 2u);
+  EXPECT_EQ(net.nodes().size(), 1u);
+}
+
+TEST(BlifReader, Errors) {
+  EXPECT_THROW(
+      read_blif_logic_string(".model m\n.inputs a\n.outputs y\n"
+                             ".names a y\n1 1\n.latch x y\n.end\n"),
+      ParseError);
+  // Cube width mismatch.
+  EXPECT_THROW(read_blif_logic_string(".model m\n.inputs a b\n.outputs y\n"
+                                      ".names a b y\n1 1\n.end\n"),
+               ParseError);
+  // Mixed output phases.
+  EXPECT_THROW(read_blif_logic_string(".model m\n.inputs a b\n.outputs y\n"
+                                      ".names a b y\n11 1\n00 0\n.end\n"),
+               ParseError);
+  // Undriven output.
+  EXPECT_THROW(read_blif_logic_string(".model m\n.inputs a\n.outputs nope\n"
+                                      ".names a y\n1 1\n.end\n"),
+               Error);
+  // .gate in the generic reader.
+  EXPECT_THROW(read_blif_logic_string(".model m\n.inputs a\n.outputs y\n"
+                                      ".gate inv a=a y=y\n.end\n"),
+               ParseError);
+}
+
+TEST(BlifWriter, LogicRoundTrip) {
+  const LogicNetwork original =
+      read_blif_logic_string(benchgen::classic_blif("cmp2"));
+  std::ostringstream out;
+  write_blif(original, out);
+  const LogicNetwork reparsed = read_blif_logic_string(out.str(), "rt");
+  ASSERT_EQ(reparsed.inputs().size(), original.inputs().size());
+  ASSERT_EQ(reparsed.outputs().size(), original.outputs().size());
+  // Functional equivalence over all 16 input vectors.
+  for (int m = 0; m < 16; ++m) {
+    std::vector<bool> in;
+    for (int j = 0; j < 4; ++j) in.push_back((m >> j) & 1);
+    EXPECT_EQ(original.evaluate(in), reparsed.evaluate(in)) << "vector " << m;
+  }
+}
+
+TEST(BlifMapped, RoundTripThroughGateDialect) {
+  const Netlist original = benchgen::ripple_carry_adder(lib(), 3);
+  std::ostringstream out;
+  write_blif(original, out);
+  const Netlist reparsed = read_blif_mapped_string(out.str(), lib(), "rt");
+  EXPECT_EQ(reparsed.gate_count(), original.gate_count());
+  EXPECT_EQ(reparsed.primary_inputs().size(),
+            original.primary_inputs().size());
+  // Functional equivalence over random vectors (7 PIs -> exhaustive).
+  const std::size_t n_pi = original.primary_inputs().size();
+  for (std::uint64_t m = 0; m < (1ULL << n_pi); ++m) {
+    std::vector<bool> in;
+    for (std::size_t j = 0; j < n_pi; ++j) in.push_back((m >> j) & 1ULL);
+    EXPECT_EQ(original.evaluate(in), reparsed.evaluate(in));
+  }
+}
+
+TEST(BlifMapped, Errors) {
+  EXPECT_THROW(read_blif_mapped_string(".model m\n.inputs a\n.outputs y\n"
+                                       ".gate mystery a=a y=y\n.end\n",
+                                       lib()),
+               ParseError);
+  EXPECT_THROW(read_blif_mapped_string(".model m\n.inputs a\n.outputs y\n"
+                                       ".gate inv a=a\n.end\n",
+                                       lib()),
+               ParseError);
+  EXPECT_THROW(read_blif_mapped_string(".model m\n.inputs a b\n.outputs y\n"
+                                       ".gate nand2 a=a y=y\n.end\n",
+                                       lib()),
+               ParseError);
+  EXPECT_THROW(read_blif_mapped_string(".model m\n.inputs a\n.outputs y\n"
+                                       ".gate inv q=a y=y\n.end\n",
+                                       lib()),
+               ParseError);
+}
+
+TEST(BlifFiles, MissingFileThrows) {
+  EXPECT_THROW(read_blif_logic_file("/nonexistent/file.blif"), Error);
+}
+
+// Parameterized: every embedded classic circuit parses and validates.
+class ClassicCircuits : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ClassicCircuits, ParsesAndValidates) {
+  const LogicNetwork net =
+      read_blif_logic_string(benchgen::classic_blif(GetParam()));
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_FALSE(net.inputs().empty());
+  EXPECT_FALSE(net.outputs().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ClassicCircuits,
+                         ::testing::Values("c17", "fulladder", "cmp2",
+                                           "dec2to4"));
+
+}  // namespace
+}  // namespace tr::netlist

@@ -1,0 +1,97 @@
+// Tests for the Liberty-style characterisation writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "celllib/library.hpp"
+#include "characterize/liberty.hpp"
+
+namespace tr::celllib {
+namespace {
+
+TEST(Liberty, EmitsEveryCellAndConfiguration) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Tech tech;
+  std::ostringstream out;
+  write_liberty(lib, tech, out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("library (reordering_lib)"), std::string::npos);
+  for (const std::string& name : lib.cell_names()) {
+    EXPECT_NE(text.find("cell (" + name + ")"), std::string::npos) << name;
+  }
+  // One reordering_config group per configuration across the library.
+  std::size_t total_configs = 0;
+  for (const std::string& name : lib.cell_names()) {
+    total_configs += lib.cell(name).config_count();
+  }
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find("reordering_config (", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, total_configs);
+}
+
+TEST(Liberty, CanonicalOnlyModeIsCompact) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Tech tech;
+  LibertyOptions options;
+  options.all_configurations = false;
+  std::ostringstream out;
+  write_liberty(lib, tech, out, options);
+  const std::string text = out.str();
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find("reordering_config (", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, lib.size());
+}
+
+TEST(Liberty, FunctionExpressionsAndNumbersPresent) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Tech tech;
+  std::ostringstream out;
+  write_liberty(lib, tech, out);
+  const std::string text = out.str();
+  // inv: y = !a.
+  EXPECT_NE(text.find("function : \"!a\""), std::string::npos);
+  // Pin capacitance value appears (2 gate terminals * 5 fF = 10 fF).
+  EXPECT_NE(text.find("capacitance : 10.000"), std::string::npos);
+  // Configuration payloads carry SP trees and delays.
+  EXPECT_NE(text.find("pulldown : \"S(T0,T1)\""), std::string::npos);
+  EXPECT_NE(text.find("pin_delay (a)"), std::string::npos);
+  EXPECT_NE(text.find("reference_power"), std::string::npos);
+}
+
+TEST(Liberty, PowerDiffersAcrossConfigurationsOfOneCell) {
+  // The characterisation must expose the power spread that motivates the
+  // whole technique: under asymmetric reference stats all entries would
+  // be needed; even under symmetric ones the output-cap asymmetry of
+  // aoi21 shows up.
+  const CellLibrary lib = CellLibrary::standard();
+  const Tech tech;
+  std::ostringstream out;
+  LibertyOptions options;
+  write_liberty(lib, tech, out, options);
+  const std::string text = out.str();
+  // Find the aoi21 cell block and collect its reference_power values.
+  const std::size_t cell_pos = text.find("cell (aoi21)");
+  ASSERT_NE(cell_pos, std::string::npos);
+  const std::size_t cell_end = text.find("cell (", cell_pos + 1);
+  std::set<std::string> powers;
+  std::size_t pos = cell_pos;
+  while (true) {
+    pos = text.find("reference_power : ", pos);
+    if (pos == std::string::npos || pos > cell_end) break;
+    const std::size_t semi = text.find(';', pos);
+    powers.insert(text.substr(pos, semi - pos));
+    ++pos;
+  }
+  EXPECT_GT(powers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tr::celllib

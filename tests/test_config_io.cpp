@@ -1,0 +1,167 @@
+// Tests for SP-tree parsing and configuration persistence: the
+// encode/parse round trip, topology_from_key validation, and the netlist
+// configuration sidecar that survives a BLIF write/read cycle.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/generators.hpp"
+#include "celllib/library.hpp"
+#include "gategraph/sp_parse.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/config_io.hpp"
+#include "opt/optimizer.hpp"
+#include "power/circuit_power.hpp"
+#include "util/error.hpp"
+
+namespace tr {
+namespace {
+
+using celllib::CellLibrary;
+using gategraph::GateTopology;
+using gategraph::parse_sp_tree;
+using gategraph::SpNode;
+using gategraph::topology_from_key;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+TEST(SpParse, LeafAndComposites) {
+  const SpNode leaf = parse_sp_tree("T7");
+  EXPECT_TRUE(leaf.is_leaf());
+  EXPECT_EQ(leaf.input, 7);
+
+  const SpNode s = parse_sp_tree("S(T0,T1,T2)");
+  EXPECT_EQ(s.kind, SpNode::Kind::series);
+  ASSERT_EQ(s.children.size(), 3u);
+  EXPECT_EQ(s.children[2].input, 2);
+
+  const SpNode nested = parse_sp_tree("S(P(T0,T1),T2)");
+  EXPECT_EQ(nested.kind, SpNode::Kind::series);
+  EXPECT_EQ(nested.children[0].kind, SpNode::Kind::parallel);
+}
+
+TEST(SpParse, MultiDigitIndices) {
+  const SpNode leaf = parse_sp_tree("T123");
+  EXPECT_EQ(leaf.input, 123);
+}
+
+TEST(SpParse, RoundTripsEncodeForEveryLibraryConfiguration) {
+  for (const std::string& name : lib().cell_names()) {
+    for (const auto& config : lib().cell(name).topology().all_reorderings()) {
+      const std::string n = gategraph::encode(config.nmos());
+      const std::string p = gategraph::encode(config.pmos());
+      EXPECT_EQ(gategraph::encode(parse_sp_tree(n)), n) << name;
+      EXPECT_EQ(gategraph::encode(parse_sp_tree(p)), p) << name;
+    }
+  }
+}
+
+TEST(SpParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "X", "T", "Tx", "S()", "S(T0)", "S(T0,)", "S(T0,T1",
+        "S(T0,T1))", "P(T0 T1)", "S(T0,T1)x"}) {
+    EXPECT_THROW(parse_sp_tree(bad), Error) << "input: '" << bad << "'";
+  }
+}
+
+TEST(TopologyFromKey, RoundTripsCanonicalKeys) {
+  for (const std::string& name : lib().cell_names()) {
+    const auto& cell = lib().cell(name);
+    for (const auto& config : cell.topology().all_reorderings()) {
+      const GateTopology rebuilt =
+          topology_from_key(config.canonical_key(), cell.input_count());
+      EXPECT_EQ(rebuilt.canonical_key(), config.canonical_key()) << name;
+      EXPECT_EQ(rebuilt.output_function(), cell.function()) << name;
+    }
+  }
+}
+
+TEST(TopologyFromKey, RejectsBadKeys) {
+  EXPECT_THROW(topology_from_key("S(T0,T1)", 2), Error);  // missing '|'
+  // Non-complementary pair.
+  EXPECT_THROW(topology_from_key("S(T0,T1)|S(T0,T1)", 2), Error);
+  // Leaf index beyond input count.
+  EXPECT_THROW(topology_from_key("S(T0,T5)|P(T0,T5)", 2), Error);
+}
+
+TEST(ConfigSidecar, EmptyWhenEverythingCanonical) {
+  const netlist::Netlist nl = benchgen::ripple_carry_adder(lib(), 3);
+  std::ostringstream out;
+  netlist::write_config_sidecar(nl, out);
+  // Only comment lines.
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(line.empty() || line[0] == '#') << line;
+  }
+}
+
+TEST(ConfigSidecar, RoundTripsOptimizedConfigurations) {
+  const celllib::Tech tech;
+  netlist::Netlist optimized = benchgen::ripple_carry_adder(lib(), 6);
+  std::map<netlist::NetId, boolfn::SignalStats> stats;
+  for (auto id : optimized.primary_inputs()) stats[id] = {0.5, 3e5};
+  const opt::OptimizeReport report = opt::optimize(optimized, stats, tech);
+  ASSERT_GT(report.gates_changed, 0);
+
+  // Serialise the netlist as BLIF (loses configurations) + sidecar.
+  std::ostringstream blif, sidecar;
+  netlist::write_blif(optimized, blif);
+  netlist::write_config_sidecar(optimized, sidecar);
+
+  netlist::Netlist reloaded =
+      netlist::read_blif_mapped_string(blif.str(), lib(), "rt");
+  // Before applying the sidecar: canonical configs, higher model power.
+  const auto activity = power::propagate_activity(optimized, stats);
+  const double p_optimized =
+      power::circuit_power(optimized, activity, tech).total();
+  const double p_reloaded_raw =
+      power::circuit_power(reloaded, activity, tech).total();
+  EXPECT_GT(p_reloaded_raw, p_optimized);
+
+  std::istringstream sidecar_in(sidecar.str());
+  const int applied = netlist::read_config_sidecar(reloaded, sidecar_in);
+  EXPECT_EQ(applied, report.gates_changed);
+  const double p_reloaded =
+      power::circuit_power(reloaded, activity, tech).total();
+  EXPECT_NEAR(p_reloaded, p_optimized, 1e-12 * p_optimized);
+
+  // Every configuration matches exactly.
+  ASSERT_EQ(reloaded.gate_count(), optimized.gate_count());
+  for (netlist::GateId g = 0; g < reloaded.gate_count(); ++g) {
+    EXPECT_EQ(reloaded.gate(g).config.canonical_key(),
+              optimized.gate(g).config.canonical_key());
+  }
+}
+
+TEST(ConfigSidecar, RejectsUnknownNetAndBadKey) {
+  netlist::Netlist nl = benchgen::ripple_carry_adder(lib(), 2);
+  {
+    std::istringstream in("ghost_net S(T0,T1)|P(T0,T1)\n");
+    EXPECT_THROW(netlist::read_config_sidecar(nl, in), ParseError);
+  }
+  {
+    std::istringstream in("n1_0 half-a-line\n");
+    EXPECT_THROW(netlist::read_config_sidecar(nl, in), Error);
+  }
+  {
+    // Valid instance but a key computing a different function (nor2
+    // topology onto a nand2 gate).
+    std::istringstream in("n1_0 P(T0,T1)|S(T0,T1)\n");
+    EXPECT_THROW(netlist::read_config_sidecar(nl, in), Error);
+  }
+}
+
+TEST(ConfigSidecar, CommentsAndBlankLinesIgnored) {
+  netlist::Netlist nl = benchgen::ripple_carry_adder(lib(), 2);
+  std::istringstream in(
+      "# header\n\n   \n# another comment\nn1_0 S(T1,T0)|P(T0,T1)\n");
+  EXPECT_EQ(netlist::read_config_sidecar(nl, in), 1);
+}
+
+}  // namespace
+}  // namespace tr

@@ -1,0 +1,250 @@
+// Tests for the constrained optimization modes that implement the
+// paper's two conclusions: (a) instance-restricted exploration (pure
+// input reordering within one sea-of-gates layout) and (b)
+// delay-constrained power optimization ("power reductions without
+// increasing the delay").
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generators.hpp"
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "delay/elmore.hpp"
+#include "gategraph/gate_graph.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/scenario.hpp"
+#include "power/circuit_power.hpp"
+
+namespace tr::opt {
+namespace {
+
+using celllib::CellLibrary;
+using celllib::Tech;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+std::map<NetId, boolfn::SignalStats> uniform_stats(const Netlist& nl,
+                                                   double p, double d) {
+  std::map<NetId, boolfn::SignalStats> stats;
+  for (NetId id : nl.primary_inputs()) stats[id] = {p, d};
+  return stats;
+}
+
+TEST(DelayConstraint, ZeroBudgetKeepsEveryNetArrivalWithinOriginal) {
+  // The arrival-budgeting invariant: with a zero budget, every net of
+  // the optimized circuit arrives no later than in the original mapping.
+  const Tech tech;
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 8);
+  const Netlist original = nl;
+  const auto stats = uniform_stats(nl, 0.5, 3e5);
+
+  OptimizeOptions constrained;
+  constrained.max_circuit_delay_increase = 0.0;
+  optimize(nl, stats, tech, constrained);
+
+  const auto before = delay::circuit_delay(original, tech);
+  const auto after = delay::circuit_delay(nl, tech);
+  ASSERT_EQ(before.net_arrival.size(), after.net_arrival.size());
+  for (std::size_t i = 0; i < before.net_arrival.size(); ++i) {
+    EXPECT_LE(after.net_arrival[i], before.net_arrival[i] * (1.0 + 1e-9))
+        << "net " << nl.net(static_cast<NetId>(i)).name;
+  }
+}
+
+TEST(DelayConstraint, RejectsSlowerInstancesFromAFastStart) {
+  // An oai21 that starts in its *fast* layout (parallel pair at the
+  // rail, smaller output diffusion) must not migrate to the slower
+  // pair-at-output instance under a zero delay budget, even when that
+  // instance is the power optimum.
+  const Tech tech;
+  Netlist nl(lib(), "one_gate");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId c = nl.add_net("c");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.mark_primary_input(c);
+  const NetId y = nl.add_net("y");
+  const GateId g = nl.add_gate("g", "oai21", {a, b, c}, y);
+  nl.mark_primary_output(y);
+
+  // Find the configuration with the smallest worst delay and start there.
+  const double load = nl.external_load(g, tech);
+  const auto delay_of = [&](const gategraph::GateTopology& config) {
+    const gategraph::GateGraph graph(config);
+    return delay::gate_delays(
+               graph, celllib::node_capacitances(graph, tech, load), tech)
+        .worst;
+  };
+  gategraph::GateTopology fastest = nl.gate(g).config;
+  for (const auto& config : nl.gate(g).config.all_reorderings()) {
+    if (delay_of(config) < delay_of(fastest)) fastest = config;
+  }
+  nl.set_config(g, fastest);
+  ASSERT_LT(delay_of(nl.gate(g).config),
+            delay_of(lib().cell("oai21").topology()));
+
+  // Hot pin a favours the pair-at-output instance for power.
+  std::map<NetId, boolfn::SignalStats> stats{
+      {a, {0.5, 1e6}}, {b, {0.5, 1e4}}, {c, {0.5, 1e4}}};
+
+  Netlist unconstrained = nl;
+  optimize(unconstrained, stats, tech);
+
+  OptimizeOptions constrained;
+  constrained.max_circuit_delay_increase = 0.0;
+  const OptimizeReport report = optimize(nl, stats, tech, constrained);
+  EXPECT_GT(report.configs_rejected_by_delay, 0);
+  EXPECT_LE(delay_of(nl.gate(g).config), delay_of(fastest) * (1.0 + 1e-12));
+  // The unconstrained optimum is at least as good in power.
+  EXPECT_LE(optimize(unconstrained, stats, tech).model_power_after,
+            report.model_power_after + 1e-18);
+}
+
+TEST(DelayConstraint, CircuitDelayDoesNotIncrease) {
+  // Per-gate non-increase implies circuit-level non-increase.
+  const Tech tech;
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 12);
+  const double before = delay::circuit_delay(nl, tech).critical_path;
+  OptimizeOptions constrained;
+  constrained.max_circuit_delay_increase = 0.0;
+  optimize(nl, uniform_stats(nl, 0.5, 3e5), tech, constrained);
+  const double after = delay::circuit_delay(nl, tech).critical_path;
+  EXPECT_LE(after, before * (1.0 + 1e-12));
+}
+
+TEST(DelayConstraint, StillReducesPower) {
+  // Paper conclusion (b): power reductions exist at zero delay cost.
+  const Tech tech;
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 12);
+  const auto stats = uniform_stats(nl, 0.5, 3e5);
+  OptimizeOptions constrained;
+  constrained.max_circuit_delay_increase = 0.0;
+  const OptimizeReport report = optimize(nl, stats, tech, constrained);
+  EXPECT_LT(report.model_power_after, report.model_power_before);
+}
+
+TEST(DelayConstraint, ConstrainedIsBetweenOriginalAndUnconstrained) {
+  const Tech tech;
+  const auto spec = benchgen::suite_entry("cm138a");
+  const Netlist original = benchgen::build_benchmark(lib(), spec);
+  const auto stats = scenario_a(original, 5);
+
+  Netlist unconstrained = original;
+  const OptimizeReport ru = optimize(unconstrained, stats, tech);
+
+  Netlist constrained = original;
+  OptimizeOptions copt;
+  copt.max_circuit_delay_increase = 0.0;
+  const OptimizeReport rc = optimize(constrained, stats, tech, copt);
+
+  EXPECT_LE(ru.model_power_after, rc.model_power_after + 1e-18);
+  EXPECT_LE(rc.model_power_after, rc.model_power_before + 1e-18);
+}
+
+TEST(DelayConstraint, LooseBudgetConvergesToUnconstrained) {
+  const Tech tech;
+  Netlist loose = benchgen::ripple_carry_adder(lib(), 6);
+  Netlist free_opt = benchgen::ripple_carry_adder(lib(), 6);
+  const auto stats = uniform_stats(loose, 0.5, 3e5);
+  OptimizeOptions lopt;
+  lopt.max_circuit_delay_increase = 100.0;  // effectively unconstrained
+  const OptimizeReport rl = optimize(loose, stats, tech, lopt);
+  const OptimizeReport rf = optimize(free_opt, stats, tech);
+  EXPECT_NEAR(rl.model_power_after, rf.model_power_after,
+              1e-12 * rf.model_power_after);
+}
+
+TEST(InstanceRestriction, NeverLeavesTheIncomingInstance) {
+  const Tech tech;
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 8);
+  const Netlist original = nl;
+  OptimizeOptions ropt;
+  ropt.restrict_to_instance = true;
+  const OptimizeReport report =
+      optimize(nl, uniform_stats(nl, 0.5, 3e5), tech, ropt);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    EXPECT_EQ(nl.gate(g).config.instance_key(),
+              original.gate(g).config.instance_key())
+        << nl.gate(g).name;
+  }
+  // oai21 gates have two instances, so rejections must occur.
+  EXPECT_GT(report.configs_rejected_by_instance, 0);
+}
+
+TEST(InstanceRestriction, UnconstrainedDominatesInstanceRestricted) {
+  // Paper conclusion (a): richer libraries (more instances) beat pure
+  // input reordering.
+  const Tech tech;
+  const auto spec = benchgen::suite_entry("decod");
+  const Netlist original = benchgen::build_benchmark(lib(), spec);
+  const auto stats = scenario_a(original, 9);
+
+  Netlist full = original;
+  const OptimizeReport rf = optimize(full, stats, tech);
+
+  Netlist restricted = original;
+  OptimizeOptions ropt;
+  ropt.restrict_to_instance = true;
+  const OptimizeReport rr = optimize(restricted, stats, tech, ropt);
+
+  EXPECT_LE(rf.model_power_after, rr.model_power_after + 1e-18);
+  EXPECT_LE(rr.model_power_after, rr.model_power_before + 1e-18);
+}
+
+TEST(InstanceRestriction, SymmetricStacksLoseNothing) {
+  // A circuit of only nand/nor/inv gates has single-instance cells:
+  // instance restriction must be a no-op.
+  const Tech tech;
+  Netlist a(lib(), "stacks");
+  const NetId x = a.add_net("x");
+  const NetId y = a.add_net("y");
+  const NetId z = a.add_net("z");
+  a.mark_primary_input(x);
+  a.mark_primary_input(y);
+  a.mark_primary_input(z);
+  const NetId n1 = a.add_net("n1");
+  const NetId n2 = a.add_net("n2");
+  a.add_gate("g1", "nand3", {x, y, z}, n1);
+  a.add_gate("g2", "nor3", {n1, y, z}, n2);
+  a.mark_primary_output(n2);
+  Netlist b = a;
+
+  std::map<NetId, boolfn::SignalStats> stats{
+      {x, {0.5, 1e4}}, {y, {0.5, 1e5}}, {z, {0.5, 1e6}}};
+  OptimizeOptions ropt;
+  ropt.restrict_to_instance = true;
+  const OptimizeReport rr = optimize(a, stats, tech, ropt);
+  const OptimizeReport rf = optimize(b, stats, tech);
+  EXPECT_EQ(rr.configs_rejected_by_instance, 0);
+  EXPECT_NEAR(rr.model_power_after, rf.model_power_after,
+              1e-12 * rf.model_power_after);
+}
+
+TEST(Constraints, ComposeDelayAndInstance) {
+  const Tech tech;
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 6);
+  const Netlist original = nl;
+  OptimizeOptions both;
+  both.max_circuit_delay_increase = 0.0;
+  both.restrict_to_instance = true;
+  const OptimizeReport report =
+      optimize(nl, uniform_stats(nl, 0.5, 3e5), tech, both);
+  EXPECT_LE(report.model_power_after, report.model_power_before + 1e-18);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    EXPECT_EQ(nl.gate(g).config.instance_key(),
+              original.gate(g).config.instance_key());
+  }
+  EXPECT_LE(delay::circuit_delay(nl, tech).critical_path,
+            delay::circuit_delay(original, tech).critical_path *
+                (1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace tr::opt

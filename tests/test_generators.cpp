@@ -1,0 +1,196 @@
+// Tests for the benchmark circuit generators: functional correctness of
+// the structured circuits and structural sanity of the random generator.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generators.hpp"
+#include "celllib/library.hpp"
+#include "util/error.hpp"
+
+namespace tr::benchgen {
+namespace {
+
+using celllib::CellLibrary;
+using netlist::NetId;
+using netlist::Netlist;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+TEST(RippleCarryAdder, ComputesAdditionExhaustively) {
+  const int bits = 4;
+  const Netlist nl = ripple_carry_adder(lib(), bits);
+  // PI order: a0,b0,a1,b1,...,cin (as created). Map by name instead.
+  const auto pis = nl.primary_inputs();
+  const auto pos = nl.primary_outputs();
+  ASSERT_EQ(pis.size(), 2u * bits + 1u);
+  ASSERT_EQ(pos.size(), static_cast<std::size_t>(bits) + 1u);
+
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      for (unsigned cin = 0; cin <= 1; ++cin) {
+        std::vector<bool> in(pis.size());
+        for (std::size_t i = 0; i < pis.size(); ++i) {
+          const std::string& name = nl.net(pis[i]).name;
+          if (name == "cin") {
+            in[i] = cin;
+          } else if (name[0] == 'a') {
+            in[i] = (a >> (name[1] - '0')) & 1u;
+          } else {
+            in[i] = (b >> (name[1] - '0')) & 1u;
+          }
+        }
+        const auto out = nl.evaluate(in);
+        unsigned sum = 0;
+        for (std::size_t i = 0; i < pos.size(); ++i) {
+          const std::string& name = nl.net(pos[i]).name;
+          if (name[0] == 's') {
+            sum |= static_cast<unsigned>(out[i]) << (name[1] - '0');
+          } else {
+            sum |= static_cast<unsigned>(out[i]) << bits;  // carry out
+          }
+        }
+        EXPECT_EQ(sum, a + b + cin) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(RippleCarryAdder, GateCountIsSixPerBit) {
+  for (int bits : {1, 4, 16}) {
+    EXPECT_EQ(ripple_carry_adder(lib(), bits).gate_count(), 6 * bits);
+  }
+  EXPECT_THROW(ripple_carry_adder(lib(), 0), Error);
+}
+
+TEST(ParityTree, ComputesXorOfAllInputs) {
+  for (int n : {2, 3, 5, 8}) {
+    const Netlist nl = parity_tree(lib(), n);
+    const auto pis = nl.primary_inputs();
+    ASSERT_EQ(pis.size(), static_cast<std::size_t>(n));
+    for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+      std::vector<bool> in;
+      bool expected = false;
+      for (int j = 0; j < n; ++j) {
+        const bool bit = (m >> j) & 1ULL;
+        in.push_back(bit);
+        expected ^= bit;
+      }
+      const auto out = nl.evaluate(in);
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0], expected) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(MuxTree, SelectsTheAddressedInput) {
+  const int select_bits = 3;
+  const Netlist nl = mux_tree(lib(), select_bits);
+  const auto pis = nl.primary_inputs();
+  // 8 data + 3 select inputs.
+  ASSERT_EQ(pis.size(), 11u);
+  for (unsigned address = 0; address < 8; ++address) {
+    for (unsigned pattern : {0x5Au, 0xC3u, 0x01u}) {
+      std::vector<bool> in(pis.size());
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        const std::string& name = nl.net(pis[i]).name;
+        if (name[0] == 'd') {
+          const unsigned idx = static_cast<unsigned>(std::stoi(name.substr(1)));
+          in[i] = (pattern >> idx) & 1u;
+        } else {  // selN
+          const unsigned s = static_cast<unsigned>(std::stoi(name.substr(3)));
+          in[i] = (address >> s) & 1u;
+        }
+      }
+      const auto out = nl.evaluate(in);
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0], static_cast<bool>((pattern >> address) & 1u))
+          << "address=" << address;
+    }
+  }
+}
+
+TEST(RandomCircuit, MeetsSpecAndValidates) {
+  RandomCircuitSpec spec;
+  spec.target_gates = 150;
+  spec.primary_inputs = 12;
+  spec.seed = 7;
+  const Netlist nl = random_circuit(lib(), spec);
+  EXPECT_EQ(nl.gate_count(), 150);
+  EXPECT_EQ(nl.primary_inputs().size(), 12u);
+  EXPECT_FALSE(nl.primary_outputs().empty());
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(RandomCircuit, DeterministicInSeed) {
+  RandomCircuitSpec spec;
+  spec.target_gates = 60;
+  spec.primary_inputs = 8;
+  spec.seed = 11;
+  const Netlist a = random_circuit(lib(), spec);
+  const Netlist b = random_circuit(lib(), spec);
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  for (netlist::GateId g = 0; g < a.gate_count(); ++g) {
+    EXPECT_EQ(a.gate(g).cell, b.gate(g).cell);
+    EXPECT_EQ(a.gate(g).inputs, b.gate(g).inputs);
+  }
+  spec.seed = 12;
+  const Netlist c = random_circuit(lib(), spec);
+  bool differs = c.gate_count() != a.gate_count();
+  for (netlist::GateId g = 0; !differs && g < a.gate_count(); ++g) {
+    differs = a.gate(g).cell != c.gate(g).cell ||
+              a.gate(g).inputs != c.gate(g).inputs;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomCircuit, UsesAMixOfCells) {
+  RandomCircuitSpec spec;
+  spec.target_gates = 400;
+  spec.primary_inputs = 20;
+  spec.seed = 3;
+  const Netlist nl = random_circuit(lib(), spec);
+  std::set<std::string> used;
+  bool has_complex = false;
+  for (const auto& g : nl.gates()) {
+    used.insert(g.cell);
+    has_complex = has_complex || g.cell.substr(0, 3) == "aoi" ||
+                  g.cell.substr(0, 3) == "oai";
+  }
+  EXPECT_GE(used.size(), 8u);
+  EXPECT_TRUE(has_complex);
+}
+
+TEST(RandomCircuit, HasRealLogicDepth) {
+  RandomCircuitSpec spec;
+  spec.target_gates = 200;
+  spec.primary_inputs = 16;
+  spec.seed = 5;
+  const Netlist nl = random_circuit(lib(), spec);
+  // Longest gate-count path from a PI.
+  std::vector<int> depth(static_cast<std::size_t>(nl.net_count()), 0);
+  int max_depth = 0;
+  for (netlist::GateId g : nl.topological_order()) {
+    int d = 0;
+    for (NetId in : nl.gate(g).inputs) {
+      d = std::max(d, depth[static_cast<std::size_t>(in)]);
+    }
+    depth[static_cast<std::size_t>(nl.gate(g).output)] = d + 1;
+    max_depth = std::max(max_depth, d + 1);
+  }
+  EXPECT_GE(max_depth, 6);
+}
+
+TEST(RandomCircuit, RejectsBadSpecs) {
+  RandomCircuitSpec spec;
+  spec.target_gates = 0;
+  EXPECT_THROW(random_circuit(lib(), spec), Error);
+  spec.target_gates = 10;
+  spec.primary_inputs = 1;
+  EXPECT_THROW(random_circuit(lib(), spec), Error);
+}
+
+}  // namespace
+}  // namespace tr::benchgen

@@ -1,0 +1,166 @@
+// End-to-end integration tests: BLIF -> mapper -> optimizer -> model /
+// switch-level simulation / delay, reproducing the paper's full flow on
+// small circuits.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/classic.hpp"
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "delay/elmore.hpp"
+#include "mapper/mapper.hpp"
+#include "netlist/blif.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/scenario.hpp"
+#include "power/circuit_power.hpp"
+#include "sim/switch_sim.hpp"
+#include "util/stats.hpp"
+
+namespace tr {
+namespace {
+
+using celllib::CellLibrary;
+using celllib::Tech;
+using netlist::NetId;
+using netlist::Netlist;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+/// The paper's evaluation pipeline for one circuit and one scenario:
+/// optimize for best and worst, return model and simulated powers.
+struct PipelineResult {
+  double model_best = 0.0, model_worst = 0.0;
+  double sim_best = 0.0, sim_worst = 0.0;
+  double delay_original = 0.0, delay_best = 0.0;
+};
+
+PipelineResult run_pipeline(const Netlist& original,
+                            const std::map<NetId, boolfn::SignalStats>& stats,
+                            std::uint64_t sim_seed) {
+  const Tech tech;
+  Netlist best = original;
+  Netlist worst = original;
+  opt::optimize(best, stats, tech);
+  opt::OptimizeOptions maximize;
+  maximize.objective = opt::Objective::maximize_power;
+  opt::optimize(worst, stats, tech, maximize);
+
+  PipelineResult r;
+  const auto activity = power::propagate_activity(original, stats);
+  r.model_best = power::circuit_power(best, activity, tech).total();
+  r.model_worst = power::circuit_power(worst, activity, tech).total();
+
+  sim::SimOptions so;
+  so.seed = sim_seed;
+  so.measure_time = 1.5e-3;
+  r.sim_best = sim::simulate(best, stats, tech, so).power;
+  r.sim_worst = sim::simulate(worst, stats, tech, so).power;
+
+  r.delay_original = delay::circuit_delay(original, tech).critical_path;
+  r.delay_best = delay::circuit_delay(best, tech).critical_path;
+  return r;
+}
+
+TEST(Integration, ClassicCircuitsFullFlow) {
+  for (const std::string& name : benchgen::classic_names()) {
+    const auto net = netlist::read_blif_logic_string(
+        benchgen::classic_blif(name), name);
+    const Netlist mapped = mapper::map_network(net, lib());
+    const auto stats = opt::scenario_a(mapped, 17);
+    const PipelineResult r = run_pipeline(mapped, stats, 501);
+    EXPECT_LE(r.model_best, r.model_worst) << name;
+    EXPECT_GT(r.model_best, 0.0) << name;
+    EXPECT_GT(r.sim_best, 0.0) << name;
+  }
+}
+
+TEST(Integration, SuiteCircuitScenarioA) {
+  // One mid-size suite circuit end to end; model best-vs-worst reduction
+  // must be positive, simulated reduction must agree in sign.
+  const auto spec = benchgen::suite_entry("cmb");  // 117 gates
+  const Netlist original = benchgen::build_benchmark(lib(), spec);
+  const auto stats = opt::scenario_a(original, spec.seed + 1);
+  const PipelineResult r = run_pipeline(original, stats, 502);
+
+  const double model_reduction = percent_reduction(r.model_worst, r.model_best);
+  const double sim_reduction = percent_reduction(r.sim_worst, r.sim_best);
+  EXPECT_GT(model_reduction, 0.0);
+  EXPECT_GT(sim_reduction, 0.0);
+  // The paper's Table 3 reductions are single to low double digits.
+  EXPECT_LT(model_reduction, 60.0);
+}
+
+TEST(Integration, ScenarioBReductionIsSmallerThanScenarioA) {
+  // Paper Sec. 5: "the power reduction in scenario B is roughly half the
+  // one in scenario A". Check the direction on a small suite sample.
+  const Tech tech;
+  RunningStats a_red, b_red;
+  for (const char* name : {"b1", "cm138a", "decod", "cu"}) {
+    const auto spec = benchgen::suite_entry(name);
+    const Netlist original = benchgen::build_benchmark(lib(), spec);
+
+    for (const bool scenario_a_flag : {true, false}) {
+      const auto stats = scenario_a_flag
+                             ? opt::scenario_a(original, spec.seed + 2)
+                             : opt::scenario_b(original);
+      Netlist best = original;
+      Netlist worst = original;
+      opt::optimize(best, stats, tech);
+      opt::OptimizeOptions maximize;
+      maximize.objective = opt::Objective::maximize_power;
+      opt::optimize(worst, stats, tech, maximize);
+      const auto activity = power::propagate_activity(original, stats);
+      const double pb = power::circuit_power(best, activity, tech).total();
+      const double pw = power::circuit_power(worst, activity, tech).total();
+      (scenario_a_flag ? a_red : b_red).add(percent_reduction(pw, pb));
+    }
+  }
+  EXPECT_GT(a_red.mean(), 0.0);
+  EXPECT_GT(b_red.mean(), 0.0);
+  EXPECT_GT(a_red.mean(), b_red.mean());
+}
+
+TEST(Integration, ModelAndSimulationAgreeOnRanking) {
+  // Over several seeds, the model-best netlist must beat the model-worst
+  // in simulated power on average (Table 3's M/S agreement).
+  const auto spec = benchgen::suite_entry("cm138a");
+  const Netlist original = benchgen::build_benchmark(lib(), spec);
+  RunningStats sim_reduction;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto stats = opt::scenario_a(original, seed * 13);
+    const PipelineResult r = run_pipeline(original, stats, 600 + seed);
+    sim_reduction.add(percent_reduction(r.sim_worst, r.sim_best));
+  }
+  EXPECT_GT(sim_reduction.mean(), 0.0);
+}
+
+TEST(Integration, DelayImpactIsBounded) {
+  // Optimizing for power may slow the circuit, but not catastrophically
+  // (the paper reports a ~4% average increase).
+  const auto spec = benchgen::suite_entry("cm82a");
+  const Netlist original = benchgen::build_benchmark(lib(), spec);
+  const auto stats = opt::scenario_a(original, 99);
+  const PipelineResult r = run_pipeline(original, stats, 700);
+  const double increase = percent_increase(r.delay_original, r.delay_best);
+  EXPECT_LT(increase, 40.0);
+  EXPECT_GT(increase, -40.0);
+}
+
+TEST(Integration, OptimizedNetlistSurvivesBlifRoundTrip) {
+  const auto spec = benchgen::suite_entry("b1");
+  Netlist original = benchgen::build_benchmark(lib(), spec);
+  const auto stats = opt::scenario_a(original, 3);
+  const Tech tech;
+  opt::optimize(original, stats, tech);
+  std::ostringstream out;
+  netlist::write_blif(original, out);
+  const Netlist reparsed =
+      netlist::read_blif_mapped_string(out.str(), lib(), "rt");
+  EXPECT_EQ(reparsed.gate_count(), original.gate_count());
+}
+
+}  // namespace
+}  // namespace tr

@@ -1,0 +1,134 @@
+// Tests for the auxiliary interchange formats: activity files and the
+// structural Verilog writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/generators.hpp"
+#include "celllib/library.hpp"
+#include "netlist/activity_io.hpp"
+#include "netlist/verilog.hpp"
+#include "opt/scenario.hpp"
+#include "power/circuit_power.hpp"
+#include "util/error.hpp"
+
+namespace tr::netlist {
+namespace {
+
+using celllib::CellLibrary;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+TEST(ActivityIo, RoundTripsPrimaryInputStatistics) {
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 4);
+  const auto original = opt::scenario_a(nl, 17);
+
+  // Serialise through the circuit-activity vector.
+  std::vector<boolfn::SignalStats> net_stats(
+      static_cast<std::size_t>(nl.net_count()));
+  for (const auto& [id, s] : original) {
+    net_stats[static_cast<std::size_t>(id)] = s;
+  }
+  std::ostringstream out;
+  write_activity(nl, net_stats, out);
+
+  std::istringstream in(out.str());
+  const auto reloaded = read_activity(nl, in);
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (const auto& [id, s] : original) {
+    ASSERT_TRUE(reloaded.contains(id));
+    EXPECT_NEAR(reloaded.at(id).prob, s.prob, 1e-6);
+    EXPECT_NEAR(reloaded.at(id).density, s.density, 1e-2);
+  }
+}
+
+TEST(ActivityIo, WholeCircuitDump) {
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 2);
+  const auto pi_stats = opt::scenario_b(nl);
+  const auto activity = power::propagate_activity(nl, pi_stats);
+  std::ostringstream out;
+  write_activity(nl, activity.net_stats, out, /*all_nets=*/true);
+  // One line per net plus two comment lines.
+  int lines = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, nl.net_count() + 2);
+}
+
+TEST(ActivityIo, Errors) {
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 2);
+  const auto check_throws = [&](const char* text) {
+    Netlist copy = nl;
+    std::istringstream in(text);
+    EXPECT_THROW(read_activity(copy, in), Error) << text;
+  };
+  check_throws("nosuchnet 0.5 1000\n");
+  check_throws("s0 0.5 1000\n");            // not a primary input
+  check_throws("a0 1.5 1000\n");            // probability out of range
+  check_throws("a0 0.5 -3\n");              // negative density
+  check_throws("a0 0.5\n");                 // arity
+  check_throws("a0 zzz 1\n");               // malformed number
+  check_throws("a0 0.5 1\na0 0.5 1\n");     // duplicate
+  check_throws("a0 0.5 1\n");               // missing other PIs
+}
+
+TEST(Verilog, EmitsWellFormedModule) {
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 2);
+  std::ostringstream out;
+  write_verilog(nl, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("module rca2 ("), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  EXPECT_NE(text.find("input a0;"), std::string::npos);
+  EXPECT_NE(text.find("output s0;"), std::string::npos);
+  // One instantiation per gate.
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find(".y(", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(nl.gate_count()));
+}
+
+TEST(Verilog, SanitisesAwkwardNames) {
+  Netlist nl(lib(), "weird-top");
+  const NetId in = nl.add_net("3via[2].x");
+  nl.mark_primary_input(in);
+  const NetId out_net = nl.add_net("out!");
+  nl.add_gate("u-1", "inv", {in}, out_net);
+  nl.mark_primary_output(out_net);
+
+  std::ostringstream out;
+  write_verilog(nl, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("module weird_top"), std::string::npos);
+  EXPECT_NE(text.find("n3via_2__x"), std::string::npos);
+  EXPECT_NE(text.find("out_"), std::string::npos);
+  EXPECT_EQ(text.find("out!"), std::string::npos);  // no raw names leak
+}
+
+TEST(Verilog, NameCollisionsResolved) {
+  Netlist nl(lib(), "collide");
+  const NetId a = nl.add_net("sig a");
+  const NetId b = nl.add_net("sig_a");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  const NetId y = nl.add_net("y");
+  nl.add_gate("g", "nand2", {a, b}, y);
+  nl.mark_primary_output(y);
+
+  std::ostringstream out;
+  write_verilog(nl, out);
+  const std::string text = out.str();
+  // Both inputs appear, distinctly.
+  EXPECT_NE(text.find("input sig_a;"), std::string::npos);
+  EXPECT_NE(text.find("input sig_a_1;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tr::netlist

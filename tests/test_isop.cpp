@@ -1,0 +1,110 @@
+// Tests for the Minato-Morreale irredundant SOP extraction.
+
+#include <gtest/gtest.h>
+
+#include "boolfn/isop.hpp"
+#include "boolfn/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace tr::boolfn {
+namespace {
+
+TruthTable random_table(int vars, Rng& rng, double density = 0.5) {
+  std::vector<bool> bits(1ULL << vars);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = rng.bernoulli(density);
+  }
+  return TruthTable::from_bits(vars, bits);
+}
+
+TEST(Isop, ConstantFunctions) {
+  EXPECT_TRUE(isop(TruthTable::zero(3)).empty());
+  const auto one_cover = isop(TruthTable::one(3));
+  ASSERT_EQ(one_cover.size(), 1u);
+  EXPECT_EQ(one_cover[0], "---");
+}
+
+TEST(Isop, SingleLiteral) {
+  const auto cover = isop(TruthTable::variable(3, 1));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], "-1-");
+}
+
+TEST(Isop, AndOrShapes) {
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ(isop(a & b), (std::vector<Cube>{"11"}));
+  const auto or_cover = isop(a | b);
+  EXPECT_EQ(or_cover.size(), 2u);
+  EXPECT_EQ(TruthTable::from_cubes(2, or_cover), a | b);
+}
+
+TEST(Isop, XorNeedsTwoCubes) {
+  const TruthTable f =
+      TruthTable::variable(2, 0) ^ TruthTable::variable(2, 1);
+  const auto cover = isop(f);
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_EQ(TruthTable::from_cubes(2, cover), f);
+}
+
+TEST(Isop, CoverIsExactOnRandomFunctions) {
+  Rng rng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int vars = 1 + static_cast<int>(rng.next_below(8));
+    const double density = 0.15 + 0.7 * rng.next_double();
+    const TruthTable f = random_table(vars, rng, density);
+    const auto cover = isop(f);
+    EXPECT_EQ(TruthTable::from_cubes(vars, cover), f)
+        << "vars=" << vars << " trial=" << trial;
+  }
+}
+
+TEST(Isop, CubesAreImplicants) {
+  // Every cube of the cover must individually imply f.
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int vars = 2 + static_cast<int>(rng.next_below(6));
+    const TruthTable f = random_table(vars, rng);
+    for (const Cube& cube : isop(f)) {
+      const TruthTable t = TruthTable::from_cubes(vars, {cube});
+      EXPECT_TRUE((t & ~f).is_zero()) << "cube " << cube << " not an implicant";
+    }
+  }
+}
+
+TEST(Isop, IrredundantOnRandomFunctions) {
+  // Dropping any single cube must lose part of the onset.
+  Rng rng(44);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int vars = 2 + static_cast<int>(rng.next_below(5));
+    const TruthTable f = random_table(vars, rng, 0.4);
+    const auto cover = isop(f);
+    if (cover.size() < 2) continue;
+    for (std::size_t drop = 0; drop < cover.size(); ++drop) {
+      std::vector<Cube> reduced;
+      for (std::size_t i = 0; i < cover.size(); ++i) {
+        if (i != drop) reduced.push_back(cover[i]);
+      }
+      EXPECT_NE(TruthTable::from_cubes(vars, reduced), f)
+          << "cube " << cover[drop] << " is redundant";
+    }
+  }
+}
+
+// Parameterized sweep over onset densities: sparse and dense functions
+// both round-trip exactly.
+class IsopDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(IsopDensitySweep, RoundTripsExactly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000) + 7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable f = random_table(6, rng, GetParam());
+    EXPECT_EQ(TruthTable::from_cubes(6, isop(f)), f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Density, IsopDensitySweep,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75, 0.95));
+
+}  // namespace
+}  // namespace tr::boolfn

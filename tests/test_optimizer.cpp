@@ -1,0 +1,223 @@
+// Tests for the paper's optimization algorithm (Fig. 3): model-power
+// improvement, best/worst bracketing, idempotence, monotonicity and the
+// interaction with the switch-level simulator.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generators.hpp"
+#include "celllib/library.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/scenario.hpp"
+#include "power/circuit_power.hpp"
+#include "sim/switch_sim.hpp"
+#include "util/error.hpp"
+
+namespace tr::opt {
+namespace {
+
+using boolfn::SignalStats;
+using celllib::CellLibrary;
+using celllib::Tech;
+using netlist::NetId;
+using netlist::Netlist;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+std::map<NetId, SignalStats> uniform_stats(const Netlist& nl, double p,
+                                           double d) {
+  std::map<NetId, SignalStats> stats;
+  for (NetId id : nl.primary_inputs()) stats[id] = {p, d};
+  return stats;
+}
+
+TEST(Optimizer, ReducesModelPowerOnCarryChain) {
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 8);
+  const Tech tech;
+  const auto stats = uniform_stats(nl, 0.5, 2e5);
+  const OptimizeReport report = optimize(nl, stats, tech);
+  EXPECT_LT(report.model_power_after, report.model_power_before);
+  EXPECT_GT(report.gates_changed, 0);
+  // The report totals must agree with an independent circuit evaluation.
+  const auto activity = power::propagate_activity(nl, stats);
+  const auto cp = power::circuit_power(nl, activity, tech);
+  EXPECT_NEAR(cp.gate_power, report.model_power_after,
+              1e-9 * report.model_power_after);
+}
+
+TEST(Optimizer, DecisionsBracketChosenPower) {
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 4);
+  const Tech tech;
+  const OptimizeReport report = optimize(nl, uniform_stats(nl, 0.5, 1e5), tech);
+  for (const GateDecision& d : report.decisions) {
+    EXPECT_LE(d.best_power, d.chosen_power + 1e-18);
+    EXPECT_GE(d.worst_power, d.chosen_power - 1e-18);
+    EXPECT_LE(d.best_power, d.original_power + 1e-18);
+    EXPECT_GE(d.worst_power, d.original_power - 1e-18);
+    // Minimisation: chosen == best.
+    EXPECT_NEAR(d.chosen_power, d.best_power, 1e-18);
+    EXPECT_GT(d.config_count, 0);
+  }
+}
+
+TEST(Optimizer, IsIdempotent) {
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 6);
+  const Tech tech;
+  const auto stats = uniform_stats(nl, 0.5, 3e5);
+  const OptimizeReport first = optimize(nl, stats, tech);
+  const OptimizeReport second = optimize(nl, stats, tech);
+  EXPECT_EQ(second.gates_changed, 0);
+  EXPECT_NEAR(second.model_power_after, first.model_power_after,
+              1e-12 * first.model_power_after);
+}
+
+TEST(Optimizer, MaximizeBuildsTheWorstNetlist) {
+  const Tech tech;
+  Netlist best = benchgen::ripple_carry_adder(lib(), 6);
+  Netlist worst = benchgen::ripple_carry_adder(lib(), 6);
+  const auto stats = uniform_stats(best, 0.5, 3e5);
+
+  OptimizeOptions minimize;
+  const OptimizeReport rb = optimize(best, stats, tech, minimize);
+  OptimizeOptions maximize;
+  maximize.objective = Objective::maximize_power;
+  const OptimizeReport rw = optimize(worst, stats, tech, maximize);
+
+  EXPECT_GT(rw.model_power_after, rb.model_power_after);
+  // Per-gate: worst >= best everywhere.
+  for (std::size_t g = 0; g < rb.decisions.size(); ++g) {
+    EXPECT_GE(rw.decisions[g].chosen_power,
+              rb.decisions[g].chosen_power - 1e-18);
+  }
+}
+
+TEST(Optimizer, PreservesLogicFunction) {
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 4);
+  Netlist reference = benchgen::ripple_carry_adder(lib(), 4);
+  const Tech tech;
+  optimize(nl, uniform_stats(nl, 0.5, 5e5), tech);
+  const std::size_t n = nl.primary_inputs().size();
+  for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+    std::vector<bool> in;
+    for (std::size_t j = 0; j < n; ++j) in.push_back((m >> j) & 1ULL);
+    EXPECT_EQ(nl.evaluate(in), reference.evaluate(in)) << "vector " << m;
+  }
+}
+
+TEST(Optimizer, MonotonicProperty) {
+  // Sec. 4.2: reordering one gate never changes any net's statistics, so
+  // the sum of independently minimised gates is the circuit minimum.
+  // Check: net statistics before and after optimization are identical.
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 5);
+  const Tech tech;
+  const auto stats = uniform_stats(nl, 0.5, 2e5);
+  const auto before = power::propagate_activity(nl, stats);
+  optimize(nl, stats, tech);
+  const auto after = power::propagate_activity(nl, stats);
+  ASSERT_EQ(before.net_stats.size(), after.net_stats.size());
+  for (std::size_t i = 0; i < before.net_stats.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before.net_stats[i].prob, after.net_stats[i].prob);
+    EXPECT_DOUBLE_EQ(before.net_stats[i].density, after.net_stats[i].density);
+  }
+}
+
+TEST(Optimizer, ScoreConfigurationsExposesTheSpread) {
+  const Tech tech;
+  const auto& cell = lib().cell("oai21");
+  const std::vector<SignalStats> inputs{{0.5, 1e4}, {0.5, 1e5}, {0.5, 1e6}};
+  const auto scored =
+      score_configurations(cell.topology(), inputs, 10e-15, tech);
+  ASSERT_EQ(scored.size(), 4u);
+  // First entry is the canonical configuration.
+  EXPECT_EQ(scored.front().first.canonical_key(),
+            cell.topology().canonical_key());
+  double lo = scored[0].second, hi = scored[0].second;
+  for (const auto& [config, p] : scored) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi, lo);
+}
+
+TEST(Optimizer, OutputOnlyModelChoosesDifferently) {
+  // The ablation: optimizing with the output-only model must yield a
+  // higher extended-model power than optimizing with the extended model
+  // itself (it cannot see internal nodes).
+  const Tech tech;
+  Netlist full = benchgen::ripple_carry_adder(lib(), 8);
+  Netlist ablated = benchgen::ripple_carry_adder(lib(), 8);
+  const auto stats = uniform_stats(full, 0.5, 3e5);
+
+  optimize(full, stats, tech);
+  OptimizeOptions ablation;
+  ablation.model = power::ModelKind::output_only;
+  optimize(ablated, stats, tech, ablation);
+
+  const auto activity = power::propagate_activity(full, stats);
+  const double p_full =
+      power::circuit_power(full, activity, tech).gate_power;
+  const double p_ablated =
+      power::circuit_power(ablated, activity, tech).gate_power;
+  EXPECT_LE(p_full, p_ablated + 1e-18);
+}
+
+TEST(Optimizer, BestBeatsWorstInSwitchLevelSimulation) {
+  // The paper's end-to-end claim (Table 3 column S): the model-best
+  // netlist consumes less simulated power than the model-worst one.
+  const Tech tech;
+  Netlist best = benchgen::ripple_carry_adder(lib(), 8);
+  Netlist worst = benchgen::ripple_carry_adder(lib(), 8);
+  const auto stats = uniform_stats(best, 0.5, 4e5);
+
+  optimize(best, stats, tech);
+  OptimizeOptions maximize;
+  maximize.objective = Objective::maximize_power;
+  optimize(worst, stats, tech, maximize);
+
+  sim::SimOptions so;
+  so.seed = 31;
+  so.measure_time = 2e-3;
+  const double e_best = sim::simulate(best, stats, tech, so).energy;
+  const double e_worst = sim::simulate(worst, stats, tech, so).energy;
+  EXPECT_LT(e_best, e_worst);
+}
+
+TEST(Optimizer, MissingPiStatsRejected) {
+  Netlist nl = benchgen::ripple_carry_adder(lib(), 2);
+  const Tech tech;
+  EXPECT_THROW(optimize(nl, {}, tech), Error);
+}
+
+TEST(Scenario, ScenarioARangesAndDeterminism) {
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 4);
+  const auto s1 = scenario_a(nl, 42);
+  const auto s2 = scenario_a(nl, 42);
+  const auto s3 = scenario_a(nl, 43);
+  ASSERT_EQ(s1.size(), nl.primary_inputs().size());
+  bool any_difference = false;
+  for (const auto& [net, stats] : s1) {
+    EXPECT_GE(stats.prob, 0.0);
+    EXPECT_LE(stats.prob, 1.0);
+    EXPECT_GE(stats.density, 0.0);
+    EXPECT_LE(stats.density, 1e6);
+    EXPECT_DOUBLE_EQ(stats.prob, s2.at(net).prob);
+    EXPECT_DOUBLE_EQ(stats.density, s2.at(net).density);
+    any_difference = any_difference ||
+                     stats.density != s3.at(net).density;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Scenario, ScenarioBIsLatchedHalfActivity) {
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 4);
+  const auto s = scenario_b(nl, 2e6);
+  for (const auto& [net, stats] : s) {
+    EXPECT_DOUBLE_EQ(stats.prob, 0.5);
+    EXPECT_DOUBLE_EQ(stats.density, 1e6);  // 0.5 transitions per cycle
+  }
+}
+
+}  // namespace
+}  // namespace tr::opt

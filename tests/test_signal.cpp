@@ -1,0 +1,104 @@
+// Tests for Parker-McCluskey probability and Najm transition-density
+// propagation across single boolean functions.
+
+#include <gtest/gtest.h>
+
+#include "boolfn/signal.hpp"
+#include "util/error.hpp"
+
+namespace tr::boolfn {
+namespace {
+
+TEST(Signal, InverterPassesDensityAndFlipsProbability) {
+  const TruthTable inv = ~TruthTable::variable(1, 0);
+  const std::vector<SignalStats> in{{0.3, 1000.0}};
+  EXPECT_NEAR(output_probability(inv, in), 0.7, 1e-12);
+  EXPECT_NEAR(output_density(inv, in), 1000.0, 1e-12);
+}
+
+TEST(Signal, And2Density) {
+  // D(ab) = P(b) D(a) + P(a) D(b).
+  const TruthTable f =
+      TruthTable::variable(2, 0) & TruthTable::variable(2, 1);
+  const std::vector<SignalStats> in{{0.25, 100.0}, {0.75, 400.0}};
+  EXPECT_NEAR(output_probability(f, in), 0.25 * 0.75, 1e-12);
+  EXPECT_NEAR(output_density(f, in), 0.75 * 100.0 + 0.25 * 400.0, 1e-12);
+}
+
+TEST(Signal, Or2Density) {
+  // D(a+b) = (1-P(b)) D(a) + (1-P(a)) D(b).
+  const TruthTable f =
+      TruthTable::variable(2, 0) | TruthTable::variable(2, 1);
+  const std::vector<SignalStats> in{{0.2, 300.0}, {0.6, 50.0}};
+  EXPECT_NEAR(output_density(f, in), 0.4 * 300.0 + 0.8 * 50.0, 1e-12);
+}
+
+TEST(Signal, XorPropagatesAllTransitions) {
+  // dy/dx = 1 for both inputs: D = D1 + D2 regardless of probabilities.
+  const TruthTable f =
+      TruthTable::variable(2, 0) ^ TruthTable::variable(2, 1);
+  const std::vector<SignalStats> in{{0.9, 123.0}, {0.1, 456.0}};
+  EXPECT_NEAR(output_density(f, in), 579.0, 1e-12);
+}
+
+TEST(Signal, ConstantFunctionHasNoActivity) {
+  const TruthTable f = TruthTable::one(2);
+  const std::vector<SignalStats> in{{0.5, 100.0}, {0.5, 100.0}};
+  EXPECT_NEAR(output_probability(f, in), 1.0, 1e-12);
+  EXPECT_NEAR(output_density(f, in), 0.0, 1e-12);
+}
+
+TEST(Signal, VacuousInputContributesNothing) {
+  // f = x0; huge density on x1 must not leak through.
+  const TruthTable f = TruthTable::variable(2, 0);
+  const std::vector<SignalStats> in{{0.5, 10.0}, {0.5, 1e9}};
+  EXPECT_NEAR(output_density(f, in), 10.0, 1e-12);
+}
+
+TEST(Signal, FrozenInputsYieldZeroDensity) {
+  const TruthTable f =
+      TruthTable::variable(2, 0) & TruthTable::variable(2, 1);
+  const std::vector<SignalStats> in{{1.0, 0.0}, {0.0, 0.0}};
+  EXPECT_NEAR(output_density(f, in), 0.0, 1e-12);
+}
+
+TEST(Signal, PropagateBundlesBoth) {
+  const TruthTable f =
+      TruthTable::variable(2, 0) | TruthTable::variable(2, 1);
+  const std::vector<SignalStats> in{{0.5, 10.0}, {0.5, 20.0}};
+  const SignalStats out = propagate(f, in);
+  EXPECT_NEAR(out.prob, 0.75, 1e-12);
+  EXPECT_NEAR(out.density, 0.5 * 10.0 + 0.5 * 20.0, 1e-12);
+}
+
+TEST(Signal, ArityMismatchRejected) {
+  const TruthTable f = TruthTable::variable(2, 0);
+  EXPECT_THROW(output_density(f, {{0.5, 1.0}}), Error);
+}
+
+// The ripple-carry observation of paper Sec. 1.1: with equal input
+// statistics, the carry chain's transition density grows along the chain
+// even though every equilibrium probability stays at 0.5.
+TEST(Signal, CarryChainDensityGrowsAlongRippleAdder) {
+  // carry_out = majority(a, b, c) = ab + ac + bc.
+  const TruthTable a = TruthTable::variable(3, 0);
+  const TruthTable b = TruthTable::variable(3, 1);
+  const TruthTable c = TruthTable::variable(3, 2);
+  const TruthTable maj = (a & b) | (a & c) | (b & c);
+
+  SignalStats carry{0.5, 0.5};  // cin
+  double previous_density = carry.density;
+  for (int bit = 0; bit < 8; ++bit) {
+    const std::vector<SignalStats> in{{0.5, 0.5}, {0.5, 0.5}, carry};
+    carry = propagate(maj, in);
+    EXPECT_NEAR(carry.prob, 0.5, 1e-12);
+    EXPECT_GT(carry.density, previous_density);
+    previous_density = carry.density;
+  }
+  // And it converges towards the fixed point D* = 1 (for D_a = 0.5):
+  // D* = 0.5*0.5 + 0.5*0.5 + 0.5*D => D* = 1.
+  EXPECT_NEAR(carry.density, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace tr::boolfn

@@ -1,0 +1,70 @@
+// Tests for the Table 3 suite registry and its materialisation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "util/error.hpp"
+
+namespace tr::benchgen {
+namespace {
+
+TEST(Suite, HasThirtyNineCircuitsLikeTable3) {
+  const auto& suite = table3_suite();
+  EXPECT_EQ(suite.size(), 39u);
+  std::set<std::string> names;
+  for (const BenchmarkSpec& spec : suite) {
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+    EXPECT_GE(spec.gates, 24);   // Table 3 range
+    EXPECT_LE(spec.gates, 540);
+    EXPECT_GE(spec.primary_inputs, 5);
+    EXPECT_NE(spec.seed, 0u);
+  }
+}
+
+TEST(Suite, SortedByGateCountLikeTheRegistry) {
+  const auto& suite = table3_suite();
+  for (std::size_t i = 1; i < suite.size(); ++i) {
+    EXPECT_LE(suite[i - 1].gates, suite[i].gates);
+  }
+  EXPECT_EQ(suite.front().gates, 24);  // b1
+  EXPECT_EQ(suite.back().gates, 540);  // alu4
+}
+
+TEST(Suite, LookupByName) {
+  EXPECT_EQ(suite_entry("alu2").gates, 401);
+  EXPECT_EQ(suite_entry("c8").gates, 222);
+  EXPECT_THROW(suite_entry("not-a-circuit"), Error);
+}
+
+TEST(Suite, SeedsAreStableAcrossCalls) {
+  EXPECT_EQ(suite_entry("mux").seed, suite_entry("mux").seed);
+  EXPECT_NE(suite_entry("mux").seed, suite_entry("cmb").seed);
+}
+
+TEST(Suite, BuildBenchmarkHonoursTheSpec) {
+  const celllib::CellLibrary lib = celllib::CellLibrary::standard();
+  for (const char* name : {"b1", "cm85a", "comp"}) {
+    const BenchmarkSpec& spec = suite_entry(name);
+    const netlist::Netlist nl = build_benchmark(lib, spec);
+    EXPECT_EQ(nl.gate_count(), spec.gates) << name;
+    EXPECT_EQ(nl.name(), spec.name);
+    EXPECT_NO_THROW(nl.validate());
+  }
+}
+
+TEST(Suite, BuildIsDeterministic) {
+  const celllib::CellLibrary lib = celllib::CellLibrary::standard();
+  const BenchmarkSpec& spec = suite_entry("decod");
+  const netlist::Netlist a = build_benchmark(lib, spec);
+  const netlist::Netlist b = build_benchmark(lib, spec);
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  for (netlist::GateId g = 0; g < a.gate_count(); ++g) {
+    EXPECT_EQ(a.gate(g).cell, b.gate(g).cell);
+  }
+}
+
+}  // namespace
+}  // namespace tr::benchgen

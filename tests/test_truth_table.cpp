@@ -1,0 +1,263 @@
+// Unit and property tests for the dense truth-table boolean kernel.
+
+#include <gtest/gtest.h>
+
+#include "boolfn/truth_table.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tr::boolfn {
+namespace {
+
+TruthTable random_table(int vars, Rng& rng) {
+  std::vector<bool> bits(1ULL << vars);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.bernoulli(0.5);
+  return TruthTable::from_bits(vars, bits);
+}
+
+TEST(TruthTable, ConstantsAndCounting) {
+  EXPECT_TRUE(TruthTable::zero(3).is_zero());
+  EXPECT_TRUE(TruthTable::one(3).is_one());
+  EXPECT_EQ(TruthTable::one(3).count_ones(), 8u);
+  EXPECT_EQ(TruthTable::zero(0).minterm_count(), 1u);
+  EXPECT_TRUE(TruthTable::one(0).is_one());
+}
+
+TEST(TruthTable, VariableProjection) {
+  const TruthTable x0 = TruthTable::variable(2, 0);
+  const TruthTable x1 = TruthTable::variable(2, 1);
+  EXPECT_EQ(x0.to_binary_string(), "0101");
+  EXPECT_EQ(x1.to_binary_string(), "0011");
+}
+
+TEST(TruthTable, VariableAboveWordBoundary) {
+  // Variable 7 over 8 vars: 256 minterms, alternating blocks of 128.
+  const TruthTable x7 = TruthTable::variable(8, 7);
+  EXPECT_EQ(x7.count_ones(), 128u);
+  EXPECT_FALSE(x7.value_at(0));
+  EXPECT_TRUE(x7.value_at(1ULL << 7));
+  EXPECT_TRUE(x7.value_at(255));
+}
+
+TEST(TruthTable, BasicAlgebra) {
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ((a & b).to_binary_string(), "0001");
+  EXPECT_EQ((a | b).to_binary_string(), "0111");
+  EXPECT_EQ((a ^ b).to_binary_string(), "0110");
+  EXPECT_EQ((~a).to_binary_string(), "1010");
+}
+
+TEST(TruthTable, DeMorganProperty) {
+  Rng rng(101);
+  for (int vars = 1; vars <= 8; ++vars) {
+    const TruthTable f = random_table(vars, rng);
+    const TruthTable g = random_table(vars, rng);
+    EXPECT_EQ(~(f & g), ~f | ~g);
+    EXPECT_EQ(~(f | g), ~f & ~g);
+  }
+}
+
+TEST(TruthTable, XorIsAddMod2) {
+  Rng rng(102);
+  const TruthTable f = random_table(5, rng);
+  const TruthTable g = random_table(5, rng);
+  EXPECT_EQ(f ^ g, (f & ~g) | (~f & g));
+  EXPECT_TRUE((f ^ f).is_zero());
+}
+
+TEST(TruthTable, FromCubes) {
+  // f = a*~c + b over (a,b,c)
+  const TruthTable f = TruthTable::from_cubes(3, {"1-0", "-1-"});
+  const TruthTable a = TruthTable::variable(3, 0);
+  const TruthTable b = TruthTable::variable(3, 1);
+  const TruthTable c = TruthTable::variable(3, 2);
+  EXPECT_EQ(f, (a & ~c) | b);
+  EXPECT_TRUE(TruthTable::from_cubes(2, {}).is_zero());
+  EXPECT_TRUE(TruthTable::from_cubes(2, {"--"}).is_one());
+}
+
+TEST(TruthTable, FromCubesRejectsBadInput) {
+  EXPECT_THROW(TruthTable::from_cubes(2, {"1"}), Error);
+  EXPECT_THROW(TruthTable::from_cubes(2, {"1x"}), Error);
+}
+
+TEST(TruthTable, CofactorShannonExpansion) {
+  Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int vars = 1 + static_cast<int>(rng.next_below(7));
+    const TruthTable f = random_table(vars, rng);
+    for (int j = 0; j < vars; ++j) {
+      const TruthTable x = TruthTable::variable(vars, j);
+      const TruthTable expansion =
+          (x & f.cofactor(j, true)) | (~x & f.cofactor(j, false));
+      EXPECT_EQ(expansion, f) << "vars=" << vars << " j=" << j;
+      EXPECT_FALSE(f.cofactor(j, true).depends_on(j));
+    }
+  }
+}
+
+TEST(TruthTable, BooleanDifferenceDefinition) {
+  Rng rng(104);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int vars = 2 + static_cast<int>(rng.next_below(5));
+    const TruthTable f = random_table(vars, rng);
+    for (int j = 0; j < vars; ++j) {
+      const TruthTable diff = f.boolean_difference(j);
+      // Minterms where toggling x_j toggles f.
+      for (std::uint64_t m = 0; m < f.minterm_count(); ++m) {
+        const bool toggles =
+            f.value_at(m) != f.value_at(m ^ (1ULL << j));
+        EXPECT_EQ(diff.value_at(m), toggles);
+      }
+    }
+  }
+}
+
+TEST(TruthTable, BooleanDifferenceOfAnd) {
+  // d(ab)/da = b.
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ((a & b).boolean_difference(0), b);
+  // d(a^b)/da = 1.
+  EXPECT_TRUE((a ^ b).boolean_difference(0).is_one());
+}
+
+TEST(TruthTable, SupportDetection) {
+  const TruthTable a = TruthTable::variable(3, 0);
+  const TruthTable c = TruthTable::variable(3, 2);
+  const TruthTable f = a | c;
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_FALSE(f.depends_on(1));
+  EXPECT_TRUE(f.depends_on(2));
+  EXPECT_EQ(f.support(), (std::vector<int>{0, 2}));
+}
+
+TEST(TruthTable, ExistsQuantification) {
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ((a & b).exists(0), b);
+  EXPECT_TRUE((a | b).exists(0).is_one());
+}
+
+TEST(TruthTable, ComposeSubstitutes) {
+  // f = a & b; substitute a <- (b | a): f becomes (b|a) & b = b.
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ((a & b).compose(0, a | b), b);
+}
+
+TEST(TruthTable, WidenedKeepsFunction) {
+  const TruthTable f2 = TruthTable::variable(2, 1);
+  const TruthTable f4 = f2.widened(4);
+  EXPECT_EQ(f4.var_count(), 4);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    EXPECT_EQ(f4.value_at(m), (m >> 1) & 1ULL);
+  }
+  EXPECT_FALSE(f4.depends_on(2));
+  EXPECT_FALSE(f4.depends_on(3));
+}
+
+TEST(TruthTable, PermutedRelabelsVariables) {
+  // f(a,b,c) = a & ~c, permutation a->2, b->0, c->1 gives x2 & ~x1.
+  const TruthTable f = TruthTable::variable(3, 0) & ~TruthTable::variable(3, 2);
+  const TruthTable g = f.permuted({2, 0, 1});
+  EXPECT_EQ(g, TruthTable::variable(3, 2) & ~TruthTable::variable(3, 1));
+}
+
+TEST(TruthTable, PermutedIdentityAndInverse) {
+  Rng rng(105);
+  const TruthTable f = random_table(5, rng);
+  EXPECT_EQ(f.permuted({0, 1, 2, 3, 4}), f);
+  const std::vector<int> perm{3, 0, 4, 1, 2};
+  std::vector<int> inverse(5);
+  for (int j = 0; j < 5; ++j) inverse[perm[static_cast<std::size_t>(j)]] = j;
+  EXPECT_EQ(f.permuted(perm).permuted(inverse), f);
+}
+
+TEST(TruthTable, PermutedRejectsNonPermutation) {
+  const TruthTable f = TruthTable::variable(2, 0);
+  EXPECT_THROW(f.permuted({0, 0}), Error);
+  EXPECT_THROW(f.permuted({0}), Error);
+}
+
+TEST(TruthTable, CompactedProjectsSupport) {
+  // f over (a,b,c) = a | c compacted onto {0,2}.
+  const TruthTable f =
+      TruthTable::variable(3, 0) | TruthTable::variable(3, 2);
+  const TruthTable g = f.compacted({0, 2});
+  EXPECT_EQ(g.var_count(), 2);
+  EXPECT_EQ(g, TruthTable::variable(2, 0) | TruthTable::variable(2, 1));
+  EXPECT_THROW(f.compacted({0}), Error);  // dropped var not vacuous
+}
+
+TEST(TruthTable, ProbabilityMatchesEnumeration) {
+  Rng rng(106);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int vars = 1 + static_cast<int>(rng.next_below(6));
+    const TruthTable f = random_table(vars, rng);
+    std::vector<double> probs;
+    for (int j = 0; j < vars; ++j) probs.push_back(rng.next_double());
+    double expected = 0.0;
+    for (std::uint64_t m = 0; m < f.minterm_count(); ++m) {
+      if (!f.value_at(m)) continue;
+      double w = 1.0;
+      for (int j = 0; j < vars; ++j) {
+        w *= ((m >> j) & 1ULL) ? probs[static_cast<std::size_t>(j)]
+                               : 1.0 - probs[static_cast<std::size_t>(j)];
+      }
+      expected += w;
+    }
+    EXPECT_NEAR(f.probability(probs), expected, 1e-12);
+  }
+}
+
+TEST(TruthTable, ProbabilityOfComplement) {
+  Rng rng(107);
+  const TruthTable f = random_table(4, rng);
+  const std::vector<double> probs{0.1, 0.9, 0.4, 0.7};
+  EXPECT_NEAR(f.probability(probs) + (~f).probability(probs), 1.0, 1e-12);
+}
+
+TEST(TruthTable, ProbabilityValidatesInput) {
+  const TruthTable f = TruthTable::variable(2, 0);
+  EXPECT_THROW(f.probability({0.5}), Error);
+  EXPECT_THROW(f.probability({0.5, 1.5}), Error);
+}
+
+TEST(TruthTable, RejectsTooManyVariables) {
+  EXPECT_THROW(TruthTable t(TruthTable::max_vars + 1), Error);
+  EXPECT_THROW(TruthTable t(-1), Error);
+}
+
+TEST(TruthTable, MixedArityOperandsRejected) {
+  const TruthTable f = TruthTable::variable(2, 0);
+  const TruthTable g = TruthTable::variable(3, 0);
+  EXPECT_THROW(f & g, Error);
+}
+
+// Property sweep: the bit-parallel word operations agree with per-minterm
+// semantics across widths that cross the 64-bit word boundary.
+class TruthTableWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruthTableWidthSweep, OperationsMatchPerMintermSemantics) {
+  const int vars = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(vars));
+  const TruthTable f = random_table(vars, rng);
+  const TruthTable g = random_table(vars, rng);
+  const TruthTable fg_and = f & g;
+  const TruthTable fg_or = f | g;
+  const TruthTable f_not = ~f;
+  for (std::uint64_t m = 0; m < f.minterm_count(); ++m) {
+    EXPECT_EQ(fg_and.value_at(m), f.value_at(m) && g.value_at(m));
+    EXPECT_EQ(fg_or.value_at(m), f.value_at(m) || g.value_at(m));
+    EXPECT_EQ(f_not.value_at(m), !f.value_at(m));
+  }
+  EXPECT_EQ(f_not.count_ones() + f.count_ones(), f.minterm_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TruthTableWidthSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 6, 7, 8, 10));
+
+}  // namespace
+}  // namespace tr::boolfn

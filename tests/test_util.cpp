@@ -1,0 +1,166 @@
+// Unit tests for the util subsystem: RNG determinism and distribution
+// sanity, running statistics, string helpers, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace tr {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> buckets(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(8)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(5);
+  const double rate = 250.0;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(rate));
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 0.05 / rate);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(13);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(v.begin(), v.end());
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(Stats, PercentHelpers) {
+  EXPECT_DOUBLE_EQ(percent_reduction(200.0, 150.0), 25.0);
+  EXPECT_DOUBLE_EQ(percent_increase(100.0, 104.0), 4.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Strings, SplitTrimJoin) {
+  EXPECT_EQ(split("  a  b\tc "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", " "), std::vector<std::string>{});
+  EXPECT_EQ(trim("  hello \r\n"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(to_lower("NAND2"), "nand2");
+  EXPECT_TRUE(starts_with(".names a b", ".names"));
+  EXPECT_FALSE(starts_with(".gate", ".names"));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(TR_ASSERT(false), InternalError);
+  EXPECT_NO_THROW(TR_ASSERT(true));
+}
+
+TEST(Error, RequireCarriesMessage) {
+  try {
+    require(false, "specific message");
+    FAIL() << "require did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("specific message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tr
