@@ -1,4 +1,4 @@
-// Ablation (DESIGN.md experiment index): how much of the optimization
+// Ablation (DESIGN.md Sec. 5 experiment index): how much of the optimization
 // gain comes from modelling *internal* gate nodes — the paper's core
 // modelling contribution (Sec. 3.3) — versus the classic output-only
 // 1/2 C V^2 D estimate?

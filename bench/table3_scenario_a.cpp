@@ -57,6 +57,6 @@ int main() {
 
   std::cout << "\nPaper averages (scenario A): M ~ 9%, S ~ 12%, D ~ 4%.\n"
             << "Benchmarks are seeded synthetic stand-ins for the MCNC\n"
-            << "suite at Table 3 gate counts (DESIGN.md Sec. 4).\n";
+            << "suite at Table 3 gate counts (DESIGN.md Sec. 4.1).\n";
   return 0;
 }

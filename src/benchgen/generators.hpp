@@ -2,7 +2,7 @@
 // Circuit generators for the benchmark suite.
 //
 // The paper evaluates on MCNC netlists, which are not redistributable
-// here; DESIGN.md Sec. 4 documents the substitution: structured
+// here; DESIGN.md Sec. 4.1 documents the substitution: structured
 // generators (adders — the paper's own Sec. 1.1 motivation —, parity and
 // mux trees) plus a seeded random multilevel generator that reproduces
 // the suite's cell mix and size distribution. Everything is

@@ -4,7 +4,7 @@
 // The paper reports 39 MCNC circuits (24-540 gates). The original
 // netlists are not redistributable, so each entry here is a synthetic
 // stand-in: a deterministic random multilevel circuit with the same gate
-// count, named after the MCNC circuit it substitutes (DESIGN.md Sec. 4).
+// count, named after the MCNC circuit it substitutes (DESIGN.md Sec. 4.1).
 // Sizes follow the G column of Table 3 as far as it is legible.
 
 #include <cstdint>

@@ -3,7 +3,7 @@
 // stacks, and the AOI/OAI complex-gate families, all series-parallel and
 // all reorderable. Extended with nand4/nor2/aoi31/oai31/aoi32/oai32/
 // aoi33/oai33 so the mapper has a complete 2-to-6 input complex-gate
-// family (documented in DESIGN.md).
+// family (documented in DESIGN.md Sec. 4.4).
 
 #include <map>
 #include <optional>

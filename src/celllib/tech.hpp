@@ -1,7 +1,7 @@
 #pragma once
 // Technology parameters of the target process. The paper evaluates a
 // 1996-era Sea-of-Gates style; absolute values only scale the results, so
-// they are centralised here and injectable everywhere (DESIGN.md Sec. 4).
+// they are centralised here and injectable everywhere (DESIGN.md Sec. 4.3).
 
 namespace tr::celllib {
 

@@ -104,7 +104,7 @@ void pivot_and_search(const GateTopology& config, int gap,
 }  // namespace
 
 std::vector<GateTopology> GateTopology::all_reorderings() const {
-  // Deviation from the paper's pseudo-code, documented in DESIGN.md: the
+  // Deviation from the paper's pseudo-code (DESIGN.md Sec. 3): the
   // initial configuration is seeded into the visited set up front.
   // Fig. 4 only records configurations *produced by* a pivot, which
   // silently drops the starting point for gates whose pivot graph has no

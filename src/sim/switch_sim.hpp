@@ -1,7 +1,7 @@
 #pragma once
 // Event-driven switch-level simulator — the reproduction's stand-in for
 // the SLS simulator the paper uses to validate the model (Table 3,
-// column S; substitution documented in DESIGN.md Sec. 4).
+// column S; substitution documented in DESIGN.md Sec. 4.2).
 //
 // Semantics:
 //  * Primary inputs are continuous-time 0-1 Markov processes: holding

@@ -140,7 +140,7 @@ TEST(GateTopology, PivotEnumerationMatchesBruteForceOracle) {
 TEST(GateTopology, Table2ConfigurationCounts) {
   // Paper Table 2 (#C column). nand3 = 6, aoi211 = 12, aoi221 = 24,
   // aoi222 = 48, oai21 = 4 and the aoi/oai duals. The scanned "nor4 = 18"
-  // is an OCR artefact: a 4-stack has 4! = 24 orderings (DESIGN.md).
+  // is an OCR artefact: a 4-stack has 4! = 24 orderings (DESIGN.md Sec. 3).
   const celllib::CellLibrary lib = celllib::CellLibrary::standard();
   const std::map<std::string, std::uint64_t> expected = {
       {"inv", 1},     {"nand2", 2},  {"nand3", 6},  {"nand4", 24},
