@@ -1,0 +1,246 @@
+// End-to-end optimizer throughput over the Table 3 benchmark suite.
+//
+// Times opt::optimize() on every suite circuit (scenario A statistics) and
+// writes the measurements to a JSON file so the performance trajectory of
+// the hot path is recorded run over run (DESIGN.md Sec. 7.5). The CI
+// perf-smoke job diffs the result against the checked-in baseline and
+// fails on large regressions.
+//
+// Usage:
+//   perf_optimize_suite [--quick] [--reps=N] [--out=PATH]
+//                       [--reference] [--no-reference] [--min-speedup=X]
+//                       [--baseline=PATH] [--max-regression=X]
+//
+//   --quick            run the 10-circuit CI subset instead of all 39
+//   --reps=N           repetitions per circuit, best-of-N (default 3)
+//   --out=PATH         JSON output path (default BENCH_optimize.json)
+//   --reference        also time the retained reference engine and record
+//                      the catalog-engine speedup (default: on for --quick,
+//                      off for the full suite, where it would dominate)
+//   --min-speedup=X    with a reference measurement, exit 1 when the
+//                      same-run speedup drops below X. Hardware cancels
+//                      out of this ratio, so it catches real regressions
+//                      the absolute baseline comparison cannot attribute.
+//   --baseline=PATH    compare total_ms against a previous JSON; exit 1
+//                      when current > max-regression x baseline
+//   --max-regression=X allowed slowdown factor (default 2.0)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/scenario.hpp"
+
+namespace {
+
+using namespace tr;
+
+struct CircuitResult {
+  std::string name;
+  int gates = 0;
+  int gates_changed = 0;
+  double ms = 0.0;
+  double reference_ms = -1.0;  ///< reference engine, -1 when not measured
+};
+
+const std::vector<std::string>& quick_subset() {
+  static const std::vector<std::string> names{
+      "b1",  "cm82a", "cm42a", "majority", "cm138a",
+      "decod", "cm85a", "cmb",  "comp",     "alu2"};
+  return names;
+}
+
+double time_optimize(const netlist::Netlist& original,
+                     const std::map<netlist::NetId, boolfn::SignalStats>& stats,
+                     const celllib::Tech& tech, int reps, opt::Engine engine,
+                     int* gates_changed) {
+  opt::OptimizeOptions options;
+  options.engine = engine;
+  double best_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    netlist::Netlist working = original;  // fresh canonical configs each rep
+    const auto t0 = std::chrono::steady_clock::now();
+    const opt::OptimizeReport report =
+        opt::optimize(working, stats, tech, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+    *gates_changed = report.gates_changed;
+  }
+  return best_ms;
+}
+
+/// Extracts `"key": <number>` from our own JSON schema; -1 when absent.
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int reps = 3;
+  std::string out_path = "BENCH_optimize.json";
+  std::string baseline_path;
+  double max_regression = 2.0;
+  double min_speedup = -1.0;
+  int reference = -1;  // -1 = default (follows --quick)
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--reference") {
+      reference = 1;
+    } else if (arg == "--no-reference") {
+      reference = 0;
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      min_speedup = std::strtod(arg.c_str() + 14, nullptr);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::max(1, std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--max-regression=", 0) == 0) {
+      max_regression = std::strtod(arg.c_str() + 17, nullptr);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const bool measure_reference = reference == -1 ? quick : reference == 1;
+  const celllib::CellLibrary library = celllib::CellLibrary::standard();
+  const celllib::Tech tech;
+
+  std::vector<CircuitResult> results;
+  double total_ms = 0.0;
+  double reference_total_ms = 0.0;
+  long total_gates = 0;
+  for (const benchgen::BenchmarkSpec& spec : benchgen::table3_suite()) {
+    if (quick) {
+      const auto& subset = quick_subset();
+      if (std::find(subset.begin(), subset.end(), spec.name) == subset.end()) {
+        continue;
+      }
+    }
+    const netlist::Netlist original = benchgen::build_benchmark(library, spec);
+    const auto stats = opt::scenario_a(original, spec.seed);
+
+    CircuitResult row;
+    row.name = spec.name;
+    row.gates = original.gate_count();
+    row.ms = time_optimize(original, stats, tech, reps, opt::Engine::catalog,
+                           &row.gates_changed);
+    if (measure_reference) {
+      int ignored = 0;
+      row.reference_ms = time_optimize(original, stats, tech, reps,
+                                       opt::Engine::reference, &ignored);
+      reference_total_ms += row.reference_ms;
+    }
+    total_ms += row.ms;
+    total_gates += row.gates;
+    std::printf("%-10s %5d gates  %10.2f ms  %9.0f gates/s\n",
+                row.name.c_str(), row.gates, row.ms,
+                row.ms > 0.0 ? 1e3 * row.gates / row.ms : 0.0);
+    results.push_back(std::move(row));
+  }
+
+  const double gates_per_sec =
+      total_ms > 0.0 ? 1e3 * static_cast<double>(total_gates) / total_ms : 0.0;
+  std::printf("%-10s %5ld gates  %10.2f ms  %9.0f gates/s\n", "TOTAL",
+              total_gates, total_ms, gates_per_sec);
+  const double speedup = measure_reference && total_ms > 0.0
+                             ? reference_total_ms / total_ms
+                             : -1.0;
+  if (measure_reference) {
+    std::printf("reference engine: %10.2f ms  -> %.1fx speedup (same run)\n",
+                reference_total_ms, speedup);
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"schema_version\": 1,\n  \"suite\": \""
+       << (quick ? "quick" : "full") << "\",\n  \"reps\": " << reps
+       << ",\n  \"circuits\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CircuitResult& row = results[i];
+    json << "    {\"name\": \"" << row.name << "\", \"gates\": " << row.gates
+         << ", \"gates_changed\": " << row.gates_changed
+         << ", \"ms\": " << row.ms;
+    if (row.reference_ms >= 0.0) {
+      json << ", \"reference_ms\": " << row.reference_ms;
+    }
+    json << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"total_gates\": " << total_gates
+       << ",\n  \"total_ms\": " << total_ms;
+  if (measure_reference) {
+    json << ",\n  \"reference_total_ms\": " << reference_total_ms
+         << ",\n  \"speedup\": " << speedup;
+  }
+  json << ",\n  \"gates_per_sec\": " << gates_per_sec << "\n}\n";
+  std::ofstream(out_path) << json.str();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Hardware-independent gate: catalog vs reference engine in this very
+  // run, so runner speed cancels out of the ratio.
+  if (min_speedup > 0.0) {
+    if (!measure_reference) {
+      std::cerr << "--min-speedup requires a reference measurement "
+                   "(--reference)\n";
+      return 2;
+    }
+    if (speedup < min_speedup) {
+      std::cerr << "PERF REGRESSION: catalog engine only " << speedup
+                << "x faster than the reference engine (floor "
+                << min_speedup << "x)\n";
+      return 1;
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    // A quick-vs-full mismatch would make the ratio meaningless (a full
+    // baseline silently neuters the gate), so the suite modes must agree.
+    const std::string expected_suite =
+        std::string("\"suite\": \"") + (quick ? "quick" : "full") + "\"";
+    if (buffer.str().find(expected_suite) == std::string::npos) {
+      std::cerr << "baseline " << baseline_path
+                << " was recorded with a different --quick setting than "
+                   "this run; regenerate it with matching flags\n";
+      return 2;
+    }
+    const double baseline_ms = json_number(buffer.str(), "total_ms");
+    if (baseline_ms <= 0.0) {
+      std::cerr << "baseline " << baseline_path << " has no total_ms\n";
+      return 2;
+    }
+    const double ratio = total_ms / baseline_ms;
+    std::printf("vs baseline: %.2fx (%s %.2f ms, limit %.2fx)\n", ratio,
+                baseline_path.c_str(), baseline_ms, max_regression);
+    if (ratio > max_regression) {
+      std::cerr << "PERF REGRESSION: " << ratio << "x slower than baseline\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -66,6 +66,8 @@ BENCHMARK_CAPTURE(BM_ReorderingEnumeration, aoi222, "aoi222");
 
 void BM_ExploreGate(benchmark::State& state, const char* cell_name) {
   // FIND_BEST_REORDERING for one gate: enumerate + model-evaluate all.
+  // Builds a one-off catalog per call; BM_ScoreGateCatalog below is the
+  // optimizer's steady state (catalog cached in the library).
   const auto& cell = lib().cell(cell_name);
   const celllib::Tech tech;
   std::vector<boolfn::SignalStats> inputs(
@@ -81,6 +83,27 @@ void BM_ExploreGate(benchmark::State& state, const char* cell_name) {
 BENCHMARK_CAPTURE(BM_ExploreGate, nand3, "nand3");
 BENCHMARK_CAPTURE(BM_ExploreGate, aoi221, "aoi221");
 BENCHMARK_CAPTURE(BM_ExploreGate, aoi222, "aoi222");
+
+void BM_ScoreGateCatalog(benchmark::State& state, const char* cell_name) {
+  // Per-gate scoring work of the optimizer's hot loop: catalog cached,
+  // scratch amortised — what every gate after the first of its cell costs.
+  const auto& cell = lib().cell(cell_name);
+  const celllib::Tech tech;
+  const auto catalog = lib().catalog(cell.topology());
+  std::vector<boolfn::SignalStats> inputs(
+      static_cast<std::size_t>(cell.input_count()),
+      boolfn::SignalStats{0.4, 3e5});
+  opt::ScoreScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::score_catalog(
+        *catalog, inputs, 10e-15, tech, power::ModelKind::extended, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cell.config_count()));
+}
+BENCHMARK_CAPTURE(BM_ScoreGateCatalog, nand3, "nand3");
+BENCHMARK_CAPTURE(BM_ScoreGateCatalog, aoi221, "aoi221");
+BENCHMARK_CAPTURE(BM_ScoreGateCatalog, aoi222, "aoi222");
 
 void BM_OptimizeCircuit(benchmark::State& state, const char* bench_name) {
   const auto& spec = benchgen::suite_entry(bench_name);

@@ -1,0 +1,53 @@
+#pragma once
+// Precomputed Parker-McCluskey minterm weights for one input-probability
+// vector:
+//
+//   w(m) = prod_j (bit j of m ? p_j : 1 - p_j)
+//
+// factored into an in-word table over variables 0..5 and one factor per
+// 64-bit word over variables >= 6. Summing P(f = 1) then walks the words
+// of a TruthTable (popcount-style set-bit iteration) instead of looping
+// over minterms and rebuilding the product per minterm — the kernel of the
+// configuration-scoring engine (DESIGN.md Sec. 7.2).
+//
+// Amortisation contract: building the weights costs O(2^n) multiplies,
+// one sum costs O(words + ones(f)). Callers that evaluate many functions
+// under the same input statistics (the gate scorer: H, G and all boolean
+// differences of every node of every configuration) build one
+// MintermWeights and reuse it; TruthTable::probability builds a fresh one
+// per call, so both paths produce bit-identical doubles.
+
+#include <array>
+#include <vector>
+
+#include "boolfn/truth_table.hpp"
+
+namespace tr::boolfn {
+
+class MintermWeights {
+public:
+  /// Empty; assign() before use.
+  MintermWeights() = default;
+
+  explicit MintermWeights(const std::vector<double>& probs) { assign(probs); }
+
+  /// (Re)binds the weights to a probability vector, reusing storage.
+  /// probs[j] = P(variable j = 1); all values must lie in [0, 1].
+  void assign(const std::vector<double>& probs);
+
+  int var_count() const noexcept { return var_count_; }
+
+  /// Exact probability that f = 1 under the bound input probabilities
+  /// (spatial independence). f.var_count() must equal var_count().
+  double sum(const TruthTable& f) const;
+
+private:
+  int var_count_ = -1;
+  /// Weight of the low min(var_count, 6) variables per in-word bit index.
+  std::array<double, 64> low_{};
+  /// Weight of variables >= 6 per word index (exactly one entry when
+  /// var_count <= 6).
+  std::vector<double> word_factor_;
+};
+
+}  // namespace tr::boolfn

@@ -1,10 +1,19 @@
 #include "boolfn/truth_table.hpp"
 
 #include <bit>
+#include <utility>
 
+#include "boolfn/minterm_weights.hpp"
 #include "util/error.hpp"
 
 namespace tr::boolfn {
+
+namespace {
+/// Bit mask of the in-word positions where variable `var` (< 6) is 1.
+constexpr std::uint64_t kVarPattern[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+}  // namespace
 
 TruthTable::TruthTable(int var_count) : var_count_(var_count) {
   require(var_count >= 0 && var_count <= max_vars,
@@ -164,15 +173,26 @@ TruthTable TruthTable::cofactor(int var, bool value) const {
   require(var >= 0 && var < var_count_,
           "TruthTable::cofactor: variable index out of range");
   TruthTable t(var_count_);
-  const std::uint64_t n = minterm_count();
-  for (std::uint64_t m = 0; m < n; ++m) {
-    std::uint64_t src = m;
-    if (value) {
-      src |= 1ULL << var;
-    } else {
-      src &= ~(1ULL << var);
+  if (var < 6) {
+    // In-word: copy the selected half onto the other half of every word.
+    const int shift = 1 << var;
+    const std::uint64_t mask = kVarPattern[var];
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (value) {
+        const std::uint64_t hi = words_[i] & mask;
+        t.words_[i] = hi | (hi >> shift);
+      } else {
+        const std::uint64_t lo = words_[i] & ~mask;
+        t.words_[i] = lo | (lo << shift);
+      }
     }
-    if (value_at(src)) t.words_[m >> 6] |= 1ULL << (m & 63);
+    t.mask_tail();
+  } else {
+    // Whole-word: every word reads its partner with the var bit forced.
+    const std::size_t block = 1ULL << (var - 6);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      t.words_[i] = words_[value ? (i | block) : (i & ~block)];
+    }
   }
   return t;
 }
@@ -195,32 +215,93 @@ TruthTable TruthTable::widened(int new_var_count) const {
   require(new_var_count >= var_count_,
           "TruthTable::widened: cannot shrink the variable universe");
   TruthTable t(new_var_count);
-  const std::uint64_t old_n = minterm_count();
-  const std::uint64_t new_n = t.minterm_count();
-  for (std::uint64_t m = 0; m < new_n; ++m) {
-    if (value_at(m & (old_n - 1))) t.words_[m >> 6] |= 1ULL << (m & 63);
+  if (var_count_ >= 6) {
+    // Whole words replicate with the old table's period.
+    const std::size_t period = words_.size();
+    for (std::size_t i = 0; i < t.words_.size(); ++i) {
+      t.words_[i] = words_[i % period];
+    }
+  } else {
+    // Replicate the 2^var_count-bit chunk across one word, then copy.
+    std::uint64_t pattern = words_.empty() ? 0 : words_[0];
+    for (int width = 1 << var_count_; width < 64; width *= 2) {
+      pattern |= pattern << width;
+    }
+    for (auto& w : t.words_) w = pattern;
+    t.mask_tail();
   }
   return t;
 }
 
-TruthTable TruthTable::permuted(const std::vector<int>& perm) const {
+void TruthTable::swap_vars_inplace(int a, int b) {
+  if (a == b) return;
+  if (a > b) std::swap(a, b);
+  if (b < 6) {
+    // Delta swap inside each word: positions with var_a=1, var_b=0 trade
+    // places with their partner `delta` bits up.
+    const int delta = (1 << b) - (1 << a);
+    const std::uint64_t mask = kVarPattern[a] & ~kVarPattern[b];
+    for (auto& w : words_) {
+      const std::uint64_t t = ((w >> delta) ^ w) & mask;
+      w ^= t ^ (t << delta);
+    }
+  } else if (a < 6) {
+    // Swap the var_a=1 bits of the var_b=0 word with the var_a=0 bits of
+    // its var_b=1 partner word.
+    const std::size_t block = 1ULL << (b - 6);
+    const int shift = 1 << a;
+    const std::uint64_t mask = kVarPattern[a];
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (i & block) continue;
+      std::uint64_t& lo_word = words_[i];
+      std::uint64_t& hi_word = words_[i | block];
+      const std::uint64_t new_lo =
+          (lo_word & ~mask) | ((hi_word & ~mask) << shift);
+      const std::uint64_t new_hi =
+          (hi_word & mask) | ((lo_word & mask) >> shift);
+      lo_word = new_lo;
+      hi_word = new_hi;
+    }
+  } else {
+    // Both above the word boundary: swap whole words between block pairs.
+    const std::size_t block_a = 1ULL << (a - 6);
+    const std::size_t block_b = 1ULL << (b - 6);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((i & block_a) && !(i & block_b)) {
+        std::swap(words_[i], words_[(i & ~block_a) | block_b]);
+      }
+    }
+  }
+}
+
+TruthTable TruthTable::permute_vars(const std::vector<int>& perm) const {
   require(static_cast<int>(perm.size()) == var_count_,
-          "TruthTable::permuted: permutation arity mismatch");
+          "TruthTable::permute_vars: permutation arity mismatch");
   std::vector<bool> seen(static_cast<std::size_t>(var_count_), false);
   for (int p : perm) {
     require(p >= 0 && p < var_count_ && !seen[static_cast<std::size_t>(p)],
-            "TruthTable::permuted: not a permutation");
+            "TruthTable::permute_vars: not a permutation");
     seen[static_cast<std::size_t>(p)] = true;
   }
-  TruthTable t(var_count_);
-  const std::uint64_t n = minterm_count();
-  for (std::uint64_t m = 0; m < n; ++m) {
-    if (!value_at(m)) continue;
-    std::uint64_t dst = 0;
-    for (int j = 0; j < var_count_; ++j) {
-      if ((m >> j) & 1ULL) dst |= 1ULL << perm[static_cast<std::size_t>(j)];
-    }
-    t.words_[dst >> 6] |= 1ULL << (dst & 63);
+  TruthTable t(*this);
+  // Decompose into variable swaps: `where[j]` tracks the position currently
+  // playing the role of old variable j.
+  std::vector<int> where(static_cast<std::size_t>(var_count_));
+  std::vector<int> occupant(static_cast<std::size_t>(var_count_));
+  for (int j = 0; j < var_count_; ++j) {
+    where[static_cast<std::size_t>(j)] = j;
+    occupant[static_cast<std::size_t>(j)] = j;
+  }
+  for (int j = 0; j < var_count_; ++j) {
+    const int target = perm[static_cast<std::size_t>(j)];
+    const int current = where[static_cast<std::size_t>(j)];
+    if (current == target) continue;
+    t.swap_vars_inplace(current, target);
+    const int displaced = occupant[static_cast<std::size_t>(target)];
+    std::swap(occupant[static_cast<std::size_t>(current)],
+              occupant[static_cast<std::size_t>(target)]);
+    where[static_cast<std::size_t>(displaced)] = current;
+    where[static_cast<std::size_t>(j)] = target;
   }
   return t;
 }
@@ -252,22 +333,7 @@ double TruthTable::probability(const std::vector<double>& probs) const {
   require(static_cast<int>(probs.size()) == var_count_,
           "TruthTable::probability: expected " + std::to_string(var_count_) +
               " probabilities, got " + std::to_string(probs.size()));
-  for (double p : probs) {
-    require(p >= 0.0 && p <= 1.0,
-            "TruthTable::probability: probability out of [0,1]");
-  }
-  const std::uint64_t n = minterm_count();
-  double total = 0.0;
-  for (std::uint64_t m = 0; m < n; ++m) {
-    if (!value_at(m)) continue;
-    double weight = 1.0;
-    for (int j = 0; j < var_count_; ++j) {
-      weight *= ((m >> j) & 1ULL) ? probs[static_cast<std::size_t>(j)]
-                                  : 1.0 - probs[static_cast<std::size_t>(j)];
-    }
-    total += weight;
-  }
-  return total;
+  return MintermWeights(probs).sum(*this);
 }
 
 std::string TruthTable::to_binary_string() const {

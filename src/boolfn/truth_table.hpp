@@ -107,8 +107,15 @@ public:
 
   /// Returns the function with variables permuted: new variable `perm[j]`
   /// takes the role of old variable `j`. `perm` must be a permutation of
-  /// 0..var_count-1.
-  TruthTable permuted(const std::vector<int>& perm) const;
+  /// 0..var_count-1. Implemented as a sequence of word-parallel variable
+  /// swaps (delta swaps in-word, word moves above bit 6), so it is the
+  /// cheap derivation step of the per-cell reordering catalogs.
+  TruthTable permute_vars(const std::vector<int>& perm) const;
+
+  /// Alias of permute_vars (historical name).
+  TruthTable permuted(const std::vector<int>& perm) const {
+    return permute_vars(perm);
+  }
 
   /// Projects the function onto `support` (typically this->support()):
   /// the result has support.size() variables, variable i of the result
@@ -120,8 +127,15 @@ public:
 
   /// Exact probability that f = 1 when each variable j is an independent
   /// 0-1 random variable with P(x_j = 1) = probs[j]
-  /// (Parker–McCluskey, spatial independence).
+  /// (Parker–McCluskey, spatial independence). Delegates to
+  /// MintermWeights, which walks the 64-bit words rather than minterms;
+  /// callers evaluating many tables under one probability vector should
+  /// build a MintermWeights directly to amortise the weight construction.
   double probability(const std::vector<double>& probs) const;
+
+  /// Raw word storage (bit m of word m/64 = f(minterm m)); the kernel API
+  /// used by MintermWeights and the word-parallel algorithms.
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
 
   /// Rendering ----------------------------------------------------------------
 
@@ -134,6 +148,8 @@ private:
   }
   /// Clears the unused bits of the last word (invariant after every op).
   void mask_tail();
+  /// Word-parallel in-place exchange of two variables' roles.
+  void swap_vars_inplace(int a, int b);
 
   int var_count_ = 0;
   std::vector<std::uint64_t> words_;

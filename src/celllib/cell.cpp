@@ -46,8 +46,9 @@ std::vector<double> node_capacitances(const gategraph::GateGraph& graph,
         node == gategraph::GateGraph::vdd_node) {
       continue;  // rails are ideal supplies
     }
-    caps[v] = tech.c_diff * static_cast<double>(terminals[v]);
-    if (node == gategraph::GateGraph::output_node) caps[v] += external_load;
+    caps[v] = node_capacitance(tech, terminals[v],
+                               node == gategraph::GateGraph::output_node,
+                               external_load);
   }
   return caps;
 }

@@ -57,6 +57,17 @@ private:
   boolfn::TruthTable function_;
 };
 
+/// Capacitance of one node from its diffusion terminal count; the output
+/// node adds the external load on top. The single definition shared by
+/// node_capacitances (reference scoring path) and the catalog scorer
+/// (opt::score_catalog), so the two paths cannot drift apart.
+inline double node_capacitance(const Tech& tech, int terminal_count,
+                               bool is_output, double external_load) {
+  double cap = tech.c_diff * static_cast<double>(terminal_count);
+  if (is_output) cap += external_load;
+  return cap;
+}
+
 /// Per-node capacitances of one configuration of a cell:
 /// index = GateGraph node id. Rails get 0 (their charge comes from the
 /// supply and is accounted as the energy drawn per transition of the

@@ -1,12 +1,92 @@
 #include "celllib/library.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "celllib/catalog.hpp"
 #include "util/error.hpp"
 
 namespace tr::celllib {
 
 using gategraph::SpNode;
+
+CellLibrary::CellLibrary(const CellLibrary& rhs)
+    : cells_(rhs.cells_), insertion_order_(rhs.insertion_order_) {
+  const std::lock_guard<std::mutex> lock(rhs.catalog_mutex_);
+  catalogs_ = rhs.catalogs_;
+}
+
+CellLibrary& CellLibrary::operator=(const CellLibrary& rhs) {
+  if (this == &rhs) return *this;
+  cells_ = rhs.cells_;
+  insertion_order_ = rhs.insertion_order_;
+  const std::lock_guard<std::mutex> lock(rhs.catalog_mutex_);
+  catalogs_ = rhs.catalogs_;
+  return *this;
+}
+
+CellLibrary::CellLibrary(CellLibrary&& rhs) noexcept
+    : cells_(std::move(rhs.cells_)),
+      insertion_order_(std::move(rhs.insertion_order_)),
+      catalogs_(std::move(rhs.catalogs_)) {}
+
+CellLibrary& CellLibrary::operator=(CellLibrary&& rhs) noexcept {
+  if (this == &rhs) return *this;
+  cells_ = std::move(rhs.cells_);
+  insertion_order_ = std::move(rhs.insertion_order_);
+  catalogs_ = std::move(rhs.catalogs_);
+  return *this;
+}
+
+namespace {
+/// Catalog cache key: the stored structural form of both pull trees, with
+/// series AND parallel child order significant. This refines
+/// canonical_key (which sorts parallel children away): the reordering
+/// enumeration walks the stored tree, so only configurations with equal
+/// stored forms are guaranteed the same enumeration order — sharing a
+/// catalog across them keeps the fast path's tie-breaking bit-identical
+/// to the per-gate reference enumeration. Gates instantiating the same
+/// cell share stored forms, so the common case still caches perfectly.
+void encode_stored(const SpNode& node, std::string& out) {
+  if (node.is_leaf()) {
+    out += 'T';
+    out += std::to_string(node.input);
+    return;
+  }
+  out += node.kind == SpNode::Kind::series ? "S(" : "P(";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ',';
+    encode_stored(node.children[i], out);
+  }
+  out += ')';
+}
+
+std::string stored_key(const gategraph::GateTopology& topology) {
+  // input_count is part of the key: identical trees declared over
+  // different variable universes (trailing vacuous inputs) need catalogs
+  // with different table widths.
+  std::string key = std::to_string(topology.input_count());
+  key += ':';
+  encode_stored(topology.nmos(), key);
+  key += '|';
+  encode_stored(topology.pmos(), key);
+  return key;
+}
+}  // namespace
+
+std::shared_ptr<const ReorderCatalog> CellLibrary::catalog(
+    const gategraph::GateTopology& start) const {
+  const std::string key = stored_key(start);
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  auto it = catalogs_.find(key);
+  if (it == catalogs_.end()) {
+    it = catalogs_
+             .emplace(key, std::make_shared<const ReorderCatalog>(
+                               ReorderCatalog::build(start)))
+             .first;
+  }
+  return it->second;
+}
 
 void CellLibrary::add(Cell cell) {
   require(!cells_.contains(cell.name()),

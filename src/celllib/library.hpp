@@ -6,6 +6,8 @@
 // family (documented in DESIGN.md Sec. 4.4).
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +15,8 @@
 #include "celllib/cell.hpp"
 
 namespace tr::celllib {
+
+class ReorderCatalog;
 
 /// An immutable collection of cells indexed by name.
 class CellLibrary {
@@ -22,6 +26,13 @@ public:
 
   /// Builds an empty library (for tests).
   CellLibrary() = default;
+
+  /// Copies/moves transfer the cells and the already-built catalogs
+  /// (shared, immutable) but never the mutex guarding the cache.
+  CellLibrary(const CellLibrary& rhs);
+  CellLibrary& operator=(const CellLibrary& rhs);
+  CellLibrary(CellLibrary&& rhs) noexcept;
+  CellLibrary& operator=(CellLibrary&& rhs) noexcept;
 
   /// Adds a cell; rejects duplicate names.
   void add(Cell cell);
@@ -43,9 +54,22 @@ public:
   std::optional<std::pair<std::string, std::vector<int>>> match_function(
       const boolfn::TruthTable& f) const;
 
+  /// Reordering catalog for the configuration `start`, built on first
+  /// request and cached by the topology's stored structural key, so every
+  /// gate of a netlist instantiating the same cell in the same
+  /// configuration (the common case in mapped netlists) shares one
+  /// characterisation. Thread-safe; the returned catalog is immutable and
+  /// outlives the library via shared ownership.
+  std::shared_ptr<const ReorderCatalog> catalog(
+      const gategraph::GateTopology& start) const;
+
 private:
   std::map<std::string, Cell> cells_;
   std::vector<std::string> insertion_order_;
+  /// Lazily built reordering catalogs, keyed by stored structural form.
+  mutable std::mutex catalog_mutex_;
+  mutable std::map<std::string, std::shared_ptr<const ReorderCatalog>>
+      catalogs_;
 };
 
 }  // namespace tr::celllib

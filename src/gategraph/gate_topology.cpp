@@ -84,21 +84,24 @@ std::string GateTopology::instance_key() const {
 }
 
 namespace {
-/// PIVOTE_AND_SEARCH of paper Fig. 4: pivot on `gap`, then, if the result
-/// is new, record it and recurse on every other internal node. Excluding
-/// the current node only prunes the immediate undo (pivoting is an
-/// involution), so this is a DFS over the full reordering space.
-void pivot_and_search(const GateTopology& config, int gap,
+/// PIVOTE_AND_SEARCH of paper Fig. 4: pivot every gap except the one we
+/// arrived by (pivoting is an involution, so that would only undo);
+/// record new configurations and recurse. `at` indexes into `out` rather
+/// than holding a reference — the vector reallocates as it grows — and
+/// freshly produced configurations are moved, never copied, so the
+/// enumeration allocates exactly one GateTopology and one key string per
+/// distinct configuration.
+void pivot_and_search(std::size_t at, int arrived_by,
                       std::set<std::string>& visited,
                       std::vector<GateTopology>& out) {
-  const GateTopology next = config.pivoted(gap);
-  const std::string key = next.canonical_key();
-  if (visited.contains(key)) return;
-  visited.insert(key);
-  out.push_back(next);
-  const int gaps = next.internal_node_count();
-  for (int idx = 0; idx < gaps; ++idx) {
-    if (idx != gap) pivot_and_search(next, idx, visited, out);
+  const int gaps = out[at].internal_node_count();
+  for (int gap = 0; gap < gaps; ++gap) {
+    if (gap == arrived_by) continue;
+    GateTopology next = out[at].pivoted(gap);
+    std::string key = next.canonical_key();
+    if (!visited.insert(std::move(key)).second) continue;
+    out.push_back(std::move(next));
+    pivot_and_search(out.size() - 1, gap, visited, out);
   }
 }
 }  // namespace
@@ -110,13 +113,11 @@ std::vector<GateTopology> GateTopology::all_reorderings() const {
   // silently drops the starting point for gates whose pivot graph has no
   // cycle back to it (e.g. nand2 with a single internal node).
   std::vector<GateTopology> out;
+  out.reserve(reordering_count_formula());
   std::set<std::string> visited;
   visited.insert(canonical_key());
   out.push_back(*this);
-  const int gaps = internal_node_count();
-  for (int idx = 0; idx < gaps; ++idx) {
-    pivot_and_search(*this, idx, visited, out);
-  }
+  pivot_and_search(0, -1, visited, out);
   return out;
 }
 

@@ -1,0 +1,164 @@
+#include "gategraph/isomorphism.hpp"
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "gategraph/gate_graph.hpp"
+#include "util/error.hpp"
+
+namespace tr::gategraph {
+
+namespace {
+
+/// SP tree annotated with the GateGraph node ids its series gaps
+/// materialise. Gap ids are allocated exactly like GateGraph's
+/// build_network: all gaps of a series node first, then the children left
+/// to right (pre-order), pull-down tree before pull-up.
+struct Annotated {
+  const SpNode* node = nullptr;
+  std::vector<int> gap_ids;  ///< k-1 graph node ids for a series node
+  std::vector<Annotated> children;
+  std::string shape;  ///< label-independent shape key for parallel pairing
+};
+
+Annotated annotate(const SpNode& node, int& next_node) {
+  Annotated a;
+  a.node = &node;
+  a.shape = encode_anonymized(node);
+  if (node.kind == SpNode::Kind::series) {
+    for (std::size_t gap = 1; gap < node.children.size(); ++gap) {
+      a.gap_ids.push_back(next_node++);
+    }
+  }
+  a.children.reserve(node.children.size());
+  for (const SpNode& child : node.children) {
+    a.children.push_back(annotate(child, next_node));
+  }
+  return a;
+}
+
+/// Backtracking state: the partial input permutation (both directions)
+/// and the gap pairs recorded so far.
+struct MatchState {
+  std::vector<int> sigma;      ///< rep_var -> config_var, -1 unset
+  std::vector<int> sigma_inv;  ///< config_var -> rep_var, -1 unset
+  std::vector<std::pair<int, int>> gap_pairs;  ///< (config_node, rep_node)
+};
+
+using Cont = std::function<bool()>;
+
+bool match(const Annotated& rep, const Annotated& cfg, MatchState& st,
+           const Cont& k);
+
+/// Matches rep.children[idx..] against cfg children positionally.
+bool match_seq(const Annotated& rep, const Annotated& cfg, std::size_t idx,
+               MatchState& st, const Cont& k) {
+  if (idx == rep.children.size()) return k();
+  return match(rep.children[idx], cfg.children[idx], st, [&] {
+    return match_seq(rep, cfg, idx + 1, st, k);
+  });
+}
+
+/// Matches rep.children[idx..] against any unused cfg child of equal
+/// shape (parallel composition: order is electrically irrelevant).
+bool match_par(const Annotated& rep, const Annotated& cfg, std::size_t idx,
+               std::vector<bool>& used, MatchState& st, const Cont& k) {
+  if (idx == rep.children.size()) return k();
+  for (std::size_t j = 0; j < cfg.children.size(); ++j) {
+    if (used[j] || rep.children[idx].shape != cfg.children[j].shape) continue;
+    used[j] = true;
+    if (match(rep.children[idx], cfg.children[j], st,
+              [&] { return match_par(rep, cfg, idx + 1, used, st, k); })) {
+      return true;
+    }
+    used[j] = false;
+  }
+  return false;
+}
+
+bool match(const Annotated& rep, const Annotated& cfg, MatchState& st,
+           const Cont& k) {
+  const SpNode& rn = *rep.node;
+  const SpNode& cn = *cfg.node;
+  if (rn.kind != cn.kind) return false;
+
+  if (rn.is_leaf()) {
+    const std::size_t ri = static_cast<std::size_t>(rn.input);
+    const std::size_t ci = static_cast<std::size_t>(cn.input);
+    if (st.sigma[ri] == cn.input) return k();  // already bound consistently
+    if (st.sigma[ri] != -1 || st.sigma_inv[ci] != -1) return false;
+    st.sigma[ri] = cn.input;
+    st.sigma_inv[ci] = rn.input;
+    if (k()) return true;
+    st.sigma[ri] = -1;
+    st.sigma_inv[ci] = -1;
+    return false;
+  }
+
+  if (rn.children.size() != cn.children.size()) return false;
+
+  if (rn.kind == SpNode::Kind::series) {
+    const std::size_t recorded = st.gap_pairs.size();
+    for (std::size_t i = 0; i < rep.gap_ids.size(); ++i) {
+      st.gap_pairs.emplace_back(cfg.gap_ids[i], rep.gap_ids[i]);
+    }
+    if (match_seq(rep, cfg, 0, st, k)) return true;
+    st.gap_pairs.resize(recorded);
+    return false;
+  }
+
+  std::vector<bool> used(cn.children.size(), false);
+  return match_par(rep, cfg, 0, used, st, k);
+}
+
+}  // namespace
+
+std::optional<ConfigIsomorphism> find_isomorphism(const GateTopology& rep,
+                                                  const GateTopology& config) {
+  if (rep.input_count() != config.input_count()) return std::nullopt;
+  if (rep.internal_node_count() != config.internal_node_count()) {
+    return std::nullopt;
+  }
+  const std::size_t inputs = static_cast<std::size_t>(rep.input_count());
+
+  int next_rep = GateGraph::first_internal_node;
+  const Annotated rep_nmos = annotate(rep.nmos(), next_rep);
+  const Annotated rep_pmos = annotate(rep.pmos(), next_rep);
+  int next_cfg = GateGraph::first_internal_node;
+  const Annotated cfg_nmos = annotate(config.nmos(), next_cfg);
+  const Annotated cfg_pmos = annotate(config.pmos(), next_cfg);
+  TR_ASSERT(next_rep == next_cfg);
+
+  MatchState st;
+  st.sigma.assign(inputs, -1);
+  st.sigma_inv.assign(inputs, -1);
+  const bool found = match(rep_nmos, cfg_nmos, st, [&] {
+    return match(rep_pmos, cfg_pmos, st, [] { return true; });
+  });
+  if (!found) return std::nullopt;
+
+  ConfigIsomorphism iso;
+  iso.var_perm = std::move(st.sigma);
+  // Inputs absent from both trees (possible for hand-built topologies, not
+  // library cells) are vacuous in every table; pair them in index order.
+  std::size_t next_free = 0;
+  for (std::size_t v = 0; v < inputs; ++v) {
+    if (iso.var_perm[v] != -1) continue;
+    while (st.sigma_inv[next_free] != -1) ++next_free;
+    iso.var_perm[v] = static_cast<int>(next_free);
+    st.sigma_inv[next_free] = static_cast<int>(v);
+  }
+
+  iso.node_remap.assign(static_cast<std::size_t>(next_cfg), -1);
+  iso.node_remap[GateGraph::vss_node] = GateGraph::vss_node;
+  iso.node_remap[GateGraph::vdd_node] = GateGraph::vdd_node;
+  iso.node_remap[GateGraph::output_node] = GateGraph::output_node;
+  for (const auto& [cfg_node, rep_node] : st.gap_pairs) {
+    iso.node_remap[static_cast<std::size_t>(cfg_node)] = rep_node;
+  }
+  for (int mapped : iso.node_remap) TR_ASSERT(mapped != -1);
+  return iso;
+}
+
+}  // namespace tr::gategraph

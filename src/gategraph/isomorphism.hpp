@@ -1,0 +1,42 @@
+#pragma once
+// Configuration isomorphism: maps one reordering of a gate onto another
+// via a single input-pin permutation.
+//
+// Two configurations with equal instance keys are input-permutations of
+// each other (paper Sec. 5.1), so every H_nk / G_nk path function of one
+// is a variable permutation of the corresponding path function of the
+// other, and every internal node corresponds 1:1. Finding that
+// correspondence once per cell is what lets the reordering catalogs
+// (celllib::ReorderCatalog, DESIGN.md Sec. 7.1) derive the tables of all
+// configurations from a single characterised representative instead of
+// rebuilding a GateGraph and re-running the path DFS per candidate.
+
+#include <optional>
+#include <vector>
+
+#include "gategraph/gate_topology.hpp"
+
+namespace tr::gategraph {
+
+/// A witness that `config` = `rep` with inputs relabelled.
+struct ConfigIsomorphism {
+  /// var_perm[rep_var] = config_var: the input permutation sigma such that
+  /// relabelling the representative's pull trees by sigma yields the
+  /// config's trees (up to electrically irrelevant parallel child order).
+  std::vector<int> var_perm;
+  /// node_remap[config_graph_node] = rep_graph_node, over GateGraph node
+  /// ids (rails and output map to themselves). Corresponding nodes have
+  /// equal terminal counts and sigma-permuted path functions.
+  std::vector<int> node_remap;
+};
+
+/// Searches for an isomorphism mapping `config` onto `rep`. One
+/// permutation must relabel BOTH pull networks simultaneously (the pin
+/// assignment of a layout instance is shared), so the search backtracks
+/// across the two trees; parallel children may pair in any order, series
+/// children are positional. Returns nullopt when the configurations are
+/// not input-permutations of each other.
+std::optional<ConfigIsomorphism> find_isomorphism(const GateTopology& rep,
+                                                  const GateTopology& config);
+
+}  // namespace tr::gategraph

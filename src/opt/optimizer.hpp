@@ -1,19 +1,31 @@
 #pragma once
-// The paper's power-optimization algorithm (Sec. 4, Fig. 3).
+// The paper's power-optimization algorithm (Sec. 4, Fig. 3), run by a
+// three-layer configuration-scoring engine (DESIGN.md Sec. 7).
 //
-// One topological traversal of the mapped netlist. For every gate:
-// obtain the equilibrium probabilities and transition densities of its
-// inputs (already available: fan-in gates precede it), exhaustively
-// enumerate its transistor reorderings (Fig. 4), score each with the
-// extended power model (Sec. 3.3), commit the best one, and propagate
-// the output statistics — which are configuration-invariant, the
-// monotonic property of Sec. 4.2 that makes this greedy pass
-// model-optimal for the whole circuit.
+// Signal statistics are configuration-invariant (Sec. 4.2), so the
+// algorithm splits into one cheap topological pass that propagates
+// probabilities and transition densities, followed by per-gate decisions
+// that are fully independent: every gate looks up the precomputed
+// reordering catalog of its cell (celllib::ReorderCatalog, cached in the
+// CellLibrary), scores all candidate configurations with the word-parallel
+// boolean kernel, and commits the best one. Gates are scored concurrently
+// on a small thread pool; results are deterministic regardless of thread
+// count (per-gate tie-breaking keeps enumeration order, the report is
+// assembled in GateId order and accumulated in topological order, exactly
+// like the reference engine).
+//
+// The pre-catalog implementation — rebuild a GateGraph and re-run the
+// path-function DFS for every candidate — is retained as
+// Engine::reference; the parity test suite asserts both engines return
+// bit-identical reports.
 
 #include <map>
+#include <utility>
 #include <vector>
 
+#include "boolfn/minterm_weights.hpp"
 #include "boolfn/signal.hpp"
+#include "celllib/catalog.hpp"
 #include "celllib/tech.hpp"
 #include "netlist/netlist.hpp"
 #include "power/circuit_power.hpp"
@@ -24,6 +36,16 @@ namespace tr::opt {
 /// ordering the evaluation compares against (Table 3: "best case with
 /// regard to worst case").
 enum class Objective { minimize_power, maximize_power };
+
+/// Which scoring engine optimize() runs.
+enum class Engine {
+  /// Catalog + word-parallel kernel + gate-parallel traversal (default).
+  catalog,
+  /// The retained per-candidate graph-rebuild scorer: the parity oracle,
+  /// and the only engine supporting arrival budgeting (which makes
+  /// per-gate decisions order-dependent).
+  reference,
+};
 
 struct OptimizeOptions {
   Objective objective = Objective::minimize_power;
@@ -39,7 +61,10 @@ struct OptimizeOptions {
   /// always qualifies, and by induction the final critical path is within
   /// (1 + fraction) of the original — 0.0 reproduces the paper's "power
   /// reductions without increasing the delay of the circuit".
-  /// Negative (default) disables the constraint.
+  /// Negative (default) disables the constraint. Budgeted runs always use
+  /// the reference engine: a gate's admissible set depends on its fan-in
+  /// gates' committed configurations, so the decisions are not
+  /// independent and cannot be scored in parallel.
   double max_circuit_delay_increase = -1.0;
 
   /// Paper conclusion (a): when true, only configurations realisable by
@@ -48,6 +73,13 @@ struct OptimizeOptions {
   /// optimum measures the value of adding reordered instances to the
   /// library.
   bool restrict_to_instance = false;
+
+  /// Scoring engine selection (see Engine).
+  Engine engine = Engine::catalog;
+
+  /// Worker threads for the gate-parallel phase; 0 = one per hardware
+  /// thread, 1 = serial. Ignored by the reference engine.
+  int threads = 0;
 };
 
 /// Per-gate outcome of the exhaustive exploration.
@@ -72,10 +104,47 @@ struct OptimizeReport {
   int configs_rejected_by_instance = 0;
 };
 
+/// Reusable scoring buffers. One scratch per thread amortises the
+/// probability-weight construction and the input-statistics staging across
+/// every candidate of every gate the thread scores (allocation-free steady
+/// state).
+struct ScoreScratch {
+  boolfn::MintermWeights weights;
+  std::vector<double> probs;
+  std::vector<double> powers;
+};
+
+/// Scores every configuration of `catalog` under the given input
+/// statistics and external load. Returns the model power per
+/// configuration, in catalog (= enumeration) order, backed by
+/// scratch.powers. Bit-identical to scoring each configuration with
+/// evaluate_gate_power / evaluate_output_only_power.
+const std::vector<double>& score_catalog(
+    const celllib::ReorderCatalog& catalog,
+    const std::vector<boolfn::SignalStats>& inputs, double external_load,
+    const celllib::Tech& tech, power::ModelKind model, ScoreScratch& scratch);
+
 /// Scores every reordering of `config` under the given input statistics
 /// and external load; returns (configuration, model power) pairs in
-/// enumeration order.
+/// enumeration order. Builds a one-off catalog; callers scoring the same
+/// cell repeatedly should go through CellLibrary::catalog + score_catalog.
 std::vector<std::pair<gategraph::GateTopology, double>> score_configurations(
+    const gategraph::GateTopology& config,
+    const std::vector<boolfn::SignalStats>& inputs, double external_load,
+    const celllib::Tech& tech,
+    power::ModelKind model = power::ModelKind::extended);
+
+/// Overload reusing caller-owned scratch buffers across calls.
+std::vector<std::pair<gategraph::GateTopology, double>> score_configurations(
+    const gategraph::GateTopology& config,
+    const std::vector<boolfn::SignalStats>& inputs, double external_load,
+    const celllib::Tech& tech, power::ModelKind model, ScoreScratch& scratch);
+
+/// The retained pre-catalog scorer: rebuilds a GateGraph and re-runs the
+/// path-function DFS per candidate. Kept as the parity oracle for the
+/// fast path (tests/test_opt_parity.cpp); not used on the hot path.
+std::vector<std::pair<gategraph::GateTopology, double>>
+score_configurations_reference(
     const gategraph::GateTopology& config,
     const std::vector<boolfn::SignalStats>& inputs, double external_load,
     const celllib::Tech& tech,
@@ -83,7 +152,7 @@ std::vector<std::pair<gategraph::GateTopology, double>> score_configurations(
 
 /// Optimizes `netlist` in place (paper Fig. 3). `pi_stats` must cover all
 /// primary inputs. Deterministic: ties keep the first configuration in
-/// enumeration order.
+/// enumeration order, independent of options.threads.
 OptimizeReport optimize(netlist::Netlist& netlist,
                         const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
                         const celllib::Tech& tech,

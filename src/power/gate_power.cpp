@@ -17,21 +17,43 @@ std::vector<double> probs_of(const std::vector<SignalStats>& inputs) {
   return probs;
 }
 
-/// Evaluates one node of the gate under the extended model.
+/// Evaluates one node of the gate under the extended model: extracts the
+/// path-function tables from the graph and defers to the shared core.
 NodePower evaluate_node(const GateGraph& graph, int node, double cap,
                         const std::vector<SignalStats>& inputs,
-                        const std::vector<double>& probs,
+                        const boolfn::MintermWeights& weights,
                         const celllib::Tech& tech) {
   const TruthTable h = graph.h_function(node);
   const TruthTable g = graph.g_function(node);
   // No rail-to-rail short through any node in a complementary gate.
   TR_ASSERT((h & g).is_zero());
 
-  const double ph = h.probability(probs);
-  const double pg = g.probability(probs);
+  std::vector<TruthTable> dh;
+  std::vector<TruthTable> dg;
+  dh.reserve(inputs.size());
+  dg.reserve(inputs.size());
+  for (int i = 0; i < graph.input_count(); ++i) {
+    dh.push_back(h.boolean_difference(i));
+    dg.push_back(g.boolean_difference(i));
+  }
+  NodePower result =
+      evaluate_node_tables(h, g, dh.data(), dg.data(), cap, inputs, weights, tech);
+  result.node = node;
+  return result;
+}
+
+}  // namespace
+
+NodePower evaluate_node_tables(const TruthTable& h, const TruthTable& g,
+                               const TruthTable* dh, const TruthTable* dg,
+                               double cap,
+                               const std::vector<SignalStats>& inputs,
+                               const boolfn::MintermWeights& weights,
+                               const celllib::Tech& tech) {
+  const double ph = weights.sum(h);
+  const double pg = weights.sum(g);
 
   NodePower result;
-  result.node = node;
   result.capacitance = cap;
   const double denom = ph + pg;
   if (denom <= 0.0) {
@@ -46,13 +68,11 @@ NodePower evaluate_node(const GateGraph& graph, int node, double cap,
   result.prob = ph / denom;
 
   double transitions = 0.0;
-  for (int i = 0; i < graph.input_count(); ++i) {
-    const double di = inputs[static_cast<std::size_t>(i)].density;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double di = inputs[i].density;
     if (di == 0.0) continue;
-    const double charge_sensitivity =
-        h.boolean_difference(i).probability(probs);
-    const double discharge_sensitivity =
-        g.boolean_difference(i).probability(probs);
+    const double charge_sensitivity = weights.sum(dh[i]);
+    const double discharge_sensitivity = weights.sum(dg[i]);
     transitions += di * (charge_sensitivity * (1.0 - result.prob) +
                          discharge_sensitivity * result.prob);
   }
@@ -60,8 +80,6 @@ NodePower evaluate_node(const GateGraph& graph, int node, double cap,
   result.power = tech.energy_per_transition(cap) * transitions;
   return result;
 }
-
-}  // namespace
 
 GatePower evaluate_gate_power(const GateGraph& graph,
                               const std::vector<double>& node_caps,
@@ -71,19 +89,19 @@ GatePower evaluate_gate_power(const GateGraph& graph,
           "evaluate_gate_power: input statistics arity mismatch");
   require(static_cast<int>(node_caps.size()) == graph.node_count(),
           "evaluate_gate_power: node capacitance arity mismatch");
-  const std::vector<double> probs = probs_of(inputs);
+  const boolfn::MintermWeights weights(probs_of(inputs));
 
   GatePower result;
   for (int k = 0; k < graph.internal_node_count(); ++k) {
     const int node = GateGraph::first_internal_node + k;
     result.nodes.push_back(
         evaluate_node(graph, node, node_caps[static_cast<std::size_t>(node)],
-                      inputs, probs, tech));
+                      inputs, weights, tech));
   }
   result.nodes.push_back(evaluate_node(
       graph, GateGraph::output_node,
       node_caps[static_cast<std::size_t>(GateGraph::output_node)], inputs,
-      probs, tech));
+      weights, tech));
 
   for (const NodePower& n : result.nodes) result.total_power += n.power;
   const NodePower& out = result.nodes.back();
@@ -99,13 +117,13 @@ GatePower evaluate_output_only_power(const GateGraph& graph,
           "evaluate_output_only_power: input statistics arity mismatch");
   require(static_cast<int>(node_caps.size()) == graph.node_count(),
           "evaluate_output_only_power: node capacitance arity mismatch");
-  const std::vector<double> probs = probs_of(inputs);
+  const boolfn::MintermWeights weights(probs_of(inputs));
 
   GatePower result;
   result.nodes.push_back(evaluate_node(
       graph, GateGraph::output_node,
       node_caps[static_cast<std::size_t>(GateGraph::output_node)], inputs,
-      probs, tech));
+      weights, tech));
   result.total_power = result.nodes.back().power;
   result.output =
       SignalStats{result.nodes.back().prob, result.nodes.back().density};

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "boolfn/minterm_weights.hpp"
 #include "boolfn/signal.hpp"
 #include "celllib/tech.hpp"
 #include "gategraph/gate_graph.hpp"
@@ -37,6 +38,21 @@ struct GatePower {
   double total_power = 0.0;      ///< P_gate = sum over nodes [W]
   boolfn::SignalStats output;    ///< P(y), D(y) for downstream propagation
 };
+
+/// The shared arithmetic core of the model: evaluates one node from its
+/// precomputed tables. `dh[i]` / `dg[i]` are the boolean differences of
+/// h / g w.r.t. input i (arrays of inputs.size() tables), and `weights`
+/// must be bound to the inputs' probabilities. Both the graph-walking
+/// reference path (evaluate_gate_power) and the catalog fast path
+/// (opt::score_catalog) funnel through this function, which is what makes
+/// their power numbers bit-identical. The caller fills NodePower::node.
+NodePower evaluate_node_tables(const boolfn::TruthTable& h,
+                               const boolfn::TruthTable& g,
+                               const boolfn::TruthTable* dh,
+                               const boolfn::TruthTable* dg, double cap,
+                               const std::vector<boolfn::SignalStats>& inputs,
+                               const boolfn::MintermWeights& weights,
+                               const celllib::Tech& tech);
 
 /// Evaluates the extended model on one gate configuration.
 ///

@@ -1,0 +1,44 @@
+#pragma once
+// Shared test helper: random series-parallel pull-down trees over a fixed
+// input set, used by the randomized property suites (test_sp_random,
+// test_catalog, test_opt_parity) so they all sample the same topology
+// space. Every input index appears on exactly one leaf, mirroring real
+// gate topologies.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gategraph/sp_tree.hpp"
+#include "util/rng.hpp"
+
+namespace tr::testutil {
+
+/// Recursive composition: shuffles the inputs, splits them into
+/// 2..max_groups groups and combines the recursively built children with
+/// a random series/parallel node. (SpNode::series/parallel flatten
+/// same-kind children, so the resulting shape may have fewer levels than
+/// the recursion — that is fine.)
+inline gategraph::SpNode random_sp_tree(std::vector<int> inputs, Rng& rng,
+                                        int max_groups = 4) {
+  using gategraph::SpNode;
+  if (inputs.size() == 1) return SpNode::transistor(inputs[0]);
+  const std::size_t groups =
+      2 + rng.next_below(std::min<std::uint64_t>(
+              static_cast<std::uint64_t>(max_groups - 1), inputs.size() - 1));
+  rng.shuffle(inputs.begin(), inputs.end());
+  std::vector<std::vector<int>> parts(groups);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    parts[i % groups].push_back(inputs[i]);
+  }
+  std::vector<SpNode> children;
+  children.reserve(parts.size());
+  for (auto& part : parts) {
+    children.push_back(random_sp_tree(std::move(part), rng, max_groups));
+  }
+  const bool series = rng.bernoulli(0.5);
+  return series ? SpNode::series(std::move(children))
+                : SpNode::parallel(std::move(children));
+}
+
+}  // namespace tr::testutil

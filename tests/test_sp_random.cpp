@@ -12,34 +12,13 @@
 #include "gategraph/gate_graph.hpp"
 #include "gategraph/sp_parse.hpp"
 #include "power/gate_power.hpp"
+#include "random_sp_tree.hpp"
 #include "util/rng.hpp"
 
 namespace tr::gategraph {
 namespace {
 
-/// Random SP tree over inputs [0, n): recursive composition with bounded
-/// depth and fanout; every input index used exactly once (leaf count
-/// = n), which mirrors real gate topologies.
-SpNode random_tree(std::vector<int> inputs, Rng& rng, int depth) {
-  if (inputs.size() == 1) return SpNode::transistor(inputs[0]);
-  // Split the inputs into 2..min(4, n) groups.
-  const std::size_t groups = 2 + rng.next_below(
-      std::min<std::uint64_t>(3, inputs.size() - 1));
-  rng.shuffle(inputs.begin(), inputs.end());
-  std::vector<std::vector<int>> parts(groups);
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    parts[i % groups].push_back(inputs[i]);
-  }
-  std::vector<SpNode> children;
-  for (auto& part : parts) {
-    children.push_back(random_tree(std::move(part), rng, depth + 1));
-  }
-  const bool series = rng.bernoulli(0.5);
-  // Note SpNode::series/parallel flatten same-kind children, so the
-  // shape may have fewer levels than the recursion — that is fine.
-  return series ? SpNode::series(std::move(children))
-                : SpNode::parallel(std::move(children));
-}
+using testutil::random_sp_tree;
 
 class RandomTopology : public ::testing::TestWithParam<int> {};
 
@@ -49,7 +28,7 @@ TEST_P(RandomTopology, InvariantsHold) {
     const int n = 2 + static_cast<int>(rng.next_below(5));
     std::vector<int> inputs;
     for (int i = 0; i < n; ++i) inputs.push_back(i);
-    const SpNode pulldown = random_tree(inputs, rng, 0);
+    const SpNode pulldown = random_sp_tree(inputs, rng);
     const GateTopology gate = GateTopology::from_pulldown(pulldown, n);
 
     // 1. Output function is the complement of the pull-down conduction.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "boolfn/minterm_weights.hpp"
 #include "boolfn/truth_table.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -258,6 +259,110 @@ TEST_P(TruthTableWidthSweep, OperationsMatchPerMintermSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, TruthTableWidthSweep,
                          ::testing::Values(0, 1, 2, 3, 5, 6, 7, 8, 10));
+
+// The word-parallel kernel rewrites (cofactor, permute_vars, widened,
+// MintermWeights-backed probability) against naive per-minterm oracles,
+// specifically crossing the 64-bit word boundary at 6 variables.
+
+TEST(TruthTableKernel, CofactorMatchesPerMintermOracle) {
+  for (int vars : {1, 2, 5, 6, 7, 9}) {
+    Rng rng(2000 + static_cast<std::uint64_t>(vars));
+    const TruthTable f = random_table(vars, rng);
+    for (int var = 0; var < vars; ++var) {
+      for (bool value : {false, true}) {
+        const TruthTable cof = f.cofactor(var, value);
+        for (std::uint64_t m = 0; m < f.minterm_count(); ++m) {
+          std::uint64_t src = m;
+          if (value) {
+            src |= 1ULL << var;
+          } else {
+            src &= ~(1ULL << var);
+          }
+          ASSERT_EQ(cof.value_at(m), f.value_at(src))
+              << vars << " vars, var " << var << ", value " << value;
+        }
+      }
+    }
+  }
+}
+
+TEST(TruthTableKernel, PermuteVarsMatchesPerMintermOracle) {
+  for (int vars : {2, 4, 6, 7, 8, 10}) {
+    Rng rng(3000 + static_cast<std::uint64_t>(vars));
+    const TruthTable f = random_table(vars, rng);
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<int> perm(static_cast<std::size_t>(vars));
+      for (int j = 0; j < vars; ++j) perm[static_cast<std::size_t>(j)] = j;
+      rng.shuffle(perm.begin(), perm.end());
+      const TruthTable p = f.permute_vars(perm);
+      for (std::uint64_t m = 0; m < f.minterm_count(); ++m) {
+        if (!f.value_at(m)) continue;
+        std::uint64_t dst = 0;
+        for (int j = 0; j < vars; ++j) {
+          if ((m >> j) & 1ULL) dst |= 1ULL << perm[static_cast<std::size_t>(j)];
+        }
+        ASSERT_TRUE(p.value_at(dst)) << vars << " vars, trial " << trial;
+      }
+      ASSERT_EQ(p.count_ones(), f.count_ones());
+    }
+  }
+}
+
+TEST(TruthTableKernel, WidenedCrossesWordBoundary) {
+  Rng rng(4000);
+  const TruthTable f = random_table(3, rng);
+  const TruthTable wide = f.widened(9);
+  for (std::uint64_t m = 0; m < wide.minterm_count(); ++m) {
+    ASSERT_EQ(wide.value_at(m), f.value_at(m & 7));
+  }
+  const TruthTable f7 = random_table(7, rng);
+  const TruthTable wide8 = f7.widened(8);
+  for (std::uint64_t m = 0; m < wide8.minterm_count(); ++m) {
+    ASSERT_EQ(wide8.value_at(m), f7.value_at(m & 127));
+  }
+}
+
+TEST(TruthTableKernel, ProbabilityMatchesEnumerationAboveWordBoundary) {
+  Rng rng(5000);
+  for (int vars : {7, 9}) {
+    const TruthTable f = random_table(vars, rng);
+    std::vector<double> probs;
+    for (int j = 0; j < vars; ++j) probs.push_back(rng.next_double());
+    double expected = 0.0;
+    for (std::uint64_t m = 0; m < f.minterm_count(); ++m) {
+      if (!f.value_at(m)) continue;
+      double w = 1.0;
+      for (int j = 0; j < vars; ++j) {
+        w *= ((m >> j) & 1ULL) ? probs[static_cast<std::size_t>(j)]
+                               : 1.0 - probs[static_cast<std::size_t>(j)];
+      }
+      expected += w;
+    }
+    EXPECT_NEAR(f.probability(probs), expected, 1e-12);
+  }
+}
+
+TEST(TruthTableKernel, MintermWeightsReuseIsBitIdentical) {
+  // The amortisation contract: one MintermWeights reused across many
+  // tables returns exactly the doubles probability() would (probability
+  // itself builds a fresh MintermWeights per call).
+  Rng rng(6000);
+  const std::vector<double> probs{0.12, 0.9, 0.5, 0.31, 0.77};
+  MintermWeights weights(probs);
+  for (int trial = 0; trial < 16; ++trial) {
+    const TruthTable f = random_table(5, rng);
+    const double via_reuse = weights.sum(f);
+    const double via_probability = f.probability(probs);
+    EXPECT_EQ(via_reuse, via_probability);  // bitwise, not approximate
+  }
+  // assign() rebinding matches a freshly constructed instance.
+  const std::vector<double> other{0.5, 0.5, 0.01, 0.99, 0.6};
+  weights.assign(other);
+  const TruthTable f = random_table(5, rng);
+  EXPECT_EQ(weights.sum(f), MintermWeights(other).sum(f));
+  EXPECT_THROW(weights.sum(random_table(3, rng)), Error);
+  EXPECT_THROW(weights.assign({0.5, 1.5}), Error);
+}
 
 }  // namespace
 }  // namespace tr::boolfn
