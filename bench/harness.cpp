@@ -3,7 +3,8 @@
 #include "delay/elmore.hpp"
 #include "opt/optimizer.hpp"
 #include "power/circuit_power.hpp"
-#include "sim/switch_sim.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace tr::bench {
@@ -12,7 +13,7 @@ PipelineRow run_pipeline(
     const netlist::Netlist& original,
     const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
     const celllib::Tech& tech, std::uint64_t sim_seed,
-    double sim_toggles_per_pi) {
+    double sim_toggles_per_pi, int sim_replications) {
   PipelineRow row;
   row.name = original.name();
   row.gates = original.gate_count();
@@ -33,19 +34,35 @@ PipelineRow run_pipeline(
       power::circuit_power(worst, activity, tech).total();
   row.model_reduction = percent_reduction(model_worst, model_best);
 
-  // Column S: switch-level simulation, same input processes for both
-  // descriptions (identical seed -> identical PI waveforms).
+  // Column S: replicated switch-level simulation. Replicate k of the
+  // best and the worst description share the seed stream (identical PI
+  // waveforms — the paired design of paper Sec. 5.1), so the reduction
+  // is computed per replicate and summarised with a 95% CI.
   double mean_density = 0.0;
   for (const auto& [net, stats] : pi_stats) mean_density += stats.density;
   mean_density /= static_cast<double>(pi_stats.size());
-  sim::SimOptions so;
-  so.seed = sim_seed;
-  so.measure_time =
+  sim::MonteCarloOptions mc;
+  mc.sim.seed = sim_seed;
+  mc.sim.measure_time =
       mean_density > 0.0 ? sim_toggles_per_pi / mean_density : 1e-3;
-  so.warmup_time = so.measure_time * 0.02;
-  const double sim_best = sim::simulate(best, pi_stats, tech, so).power;
-  const double sim_worst = sim::simulate(worst, pi_stats, tech, so).power;
-  row.sim_reduction = percent_reduction(sim_worst, sim_best);
+  mc.sim.warmup_time = mc.sim.measure_time * 0.02;
+  mc.replications = sim_replications;
+  const sim::SimSummary sim_best =
+      sim::monte_carlo(best, pi_stats, tech, mc);
+  const sim::SimSummary sim_worst =
+      sim::monte_carlo(worst, pi_stats, tech, mc);
+  TR_ASSERT(sim_best.replicate_energy.size() ==
+            sim_worst.replicate_energy.size());
+  RunningStats reduction;
+  for (std::size_t k = 0; k < sim_best.replicate_energy.size(); ++k) {
+    reduction.add(percent_reduction(sim_worst.replicate_energy[k],
+                                    sim_best.replicate_energy[k]));
+  }
+  row.sim_reduction = reduction.mean();
+  row.sim_reduction_ci = reduction.ci95_half_width();
+  row.sim_replications = static_cast<int>(reduction.count());
+  row.sim_truncated = sim_best.truncated_replications > 0 ||
+                      sim_worst.truncated_replications > 0;
 
   // Column D: delay increase of the power-best mapping vs the original
   // cell-library mapping.

@@ -20,13 +20,26 @@ struct PipelineRow {
   std::string name;
   int gates = 0;
   double model_reduction = 0.0;  ///< column M [%]
-  double sim_reduction = 0.0;    ///< column S [%]
+  double sim_reduction = 0.0;    ///< column S: mean over replications [%]
+  /// 95% confidence half-width of S over the paired Monte-Carlo
+  /// replications (DESIGN.md Sec. 8.2); 0 when replications < 2.
+  double sim_reduction_ci = 0.0;
+  int sim_replications = 0;
+  /// True when any simulation replication hit the event budget — the S
+  /// column then covers partial windows and must not be trusted.
+  bool sim_truncated = false;
   double delay_increase = 0.0;   ///< column D [%]
 };
 
 /// Runs optimize-best / optimize-worst, evaluates both with the model and
 /// the switch-level simulator, and measures the delay impact of the
-/// power-optimal netlist vs the original mapping.
+/// power-best netlist vs the original mapping.
+///
+/// The simulated column is a paired Monte-Carlo estimate: replicate k
+/// drives the best and the worst netlist with the *same* input waveforms
+/// (same derived seed stream), so the per-replicate reduction cancels
+/// most of the input-process variance, and the returned CI is over the
+/// replicate reductions.
 ///
 /// `sim_toggles_per_pi` controls the simulated window: the measurement
 /// time is chosen so an average primary input toggles that many times.
@@ -34,6 +47,7 @@ PipelineRow run_pipeline(const netlist::Netlist& original,
                          const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
                          const celllib::Tech& tech,
                          std::uint64_t sim_seed,
-                         double sim_toggles_per_pi = 200.0);
+                         double sim_toggles_per_pi = 200.0,
+                         int sim_replications = 8);
 
 }  // namespace tr::bench

@@ -16,6 +16,7 @@
 #include "opt/scenario.hpp"
 #include "power/circuit_power.hpp"
 #include "sim/switch_sim.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -71,8 +72,12 @@ int main(int argc, char** argv) {
   sim::SimOptions so;
   so.seed = 2024;
   so.measure_time = 400.0 / (0.5 * clock_hz);  // ~400 toggles per input
-  const double p_best = sim::simulate(adder, pi_stats, tech, so).power;
-  const double p_worst = sim::simulate(worst, pi_stats, tech, so).power;
+  const sim::SimResult sim_best = sim::simulate(adder, pi_stats, tech, so);
+  const sim::SimResult sim_worst = sim::simulate(worst, pi_stats, tech, so);
+  require(!sim_best.truncated && !sim_worst.truncated,
+          "simulation hit the event budget; results cover partial windows");
+  const double p_best = sim_best.power;
+  const double p_worst = sim_worst.power;
   std::cout << "Switch-level check: best " << format_fixed(p_best * 1e6, 3)
             << " uW vs worst " << format_fixed(p_worst * 1e6, 3) << " uW ("
             << format_fixed(percent_reduction(p_worst, p_best), 1)

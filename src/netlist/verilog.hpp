@@ -1,11 +1,17 @@
 #pragma once
-// Structural Verilog writer for mapped netlists: one module, one cell
+// Structural Verilog I/O for mapped netlists: one module, one cell
 // instantiation per gate with named port connections (.a(net), ... ,
 // .y(net)). Interchange with downstream flows; transistor orderings ride
 // in the configuration sidecar (config_io.hpp), referenced from a header
 // comment.
+//
+// The reader accepts exactly the structural subset the writer emits
+// (declarations before instances, named port connections, cells resolved
+// against a library), so write -> read -> write is a fixed point — the
+// round-trip contract tests/test_io_formats.cpp enforces.
 
 #include <iosfwd>
+#include <string>
 
 #include "netlist/netlist.hpp"
 
@@ -16,5 +22,17 @@ namespace tr::netlist {
 /// digit escaped); the original name is kept in a trailing comment when
 /// it had to change.
 void write_verilog(const Netlist& netlist, std::ostream& out);
+
+/// Reads one structural Verilog module in the writer's subset: named
+/// port connections only, every net declared (input/output/wire) before
+/// use, every instantiated cell present in `library`, output pin `y`,
+/// and `// tr:primary_output <net>` directive comments marking primary
+/// outputs that legal Verilog cannot declare (a PI fed straight out).
+/// Gate configurations start canonical (orderings live in the config
+/// sidecar, not in Verilog). Throws tr::ParseError on malformed input
+/// and tr::Error on semantic violations. `library` must outlive the
+/// returned netlist.
+Netlist read_verilog(const celllib::CellLibrary& library, std::istream& in,
+                     const std::string& source_name = "<verilog>");
 
 }  // namespace tr::netlist

@@ -1,0 +1,151 @@
+#include "sim/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tr::sim {
+
+namespace {
+
+/// Welford accumulators mirroring the SimSummary layout. Accumulation is
+/// strictly sequential in replicate-index order (the parallel part is
+/// only the replications themselves), which is what makes the summary
+/// independent of the thread count.
+struct Accumulators {
+  RunningStats energy, power, output_node_energy, internal_node_energy,
+      pi_energy, gate_energy;
+  std::vector<RunningStats> per_gate_energy;
+  std::vector<RunningStats> per_gate_output_energy;
+  std::vector<RunningStats> net_prob, net_density;
+  std::size_t truncated = 0;
+  std::uint64_t total_events = 0;
+  std::vector<double> replicate_energy;
+
+  void add(const SimResult& r) {
+    energy.add(r.energy);
+    power.add(r.power);
+    output_node_energy.add(r.output_node_energy);
+    internal_node_energy.add(r.internal_node_energy);
+    pi_energy.add(r.pi_energy);
+    gate_energy.add(r.energy - r.pi_energy);
+    if (per_gate_energy.empty()) {
+      per_gate_energy.resize(r.per_gate_energy.size());
+      per_gate_output_energy.resize(r.per_gate_energy.size());
+      net_prob.resize(r.nets.size());
+      net_density.resize(r.nets.size());
+    }
+    for (std::size_t g = 0; g < r.per_gate_energy.size(); ++g) {
+      per_gate_energy[g].add(r.per_gate_energy[g]);
+      per_gate_output_energy[g].add(r.per_gate_output_energy[g]);
+    }
+    for (std::size_t n = 0; n < r.nets.size(); ++n) {
+      net_prob[n].add(r.nets[n].prob);
+      net_density[n].add(r.nets[n].density);
+    }
+    if (r.truncated) ++truncated;
+    total_events += r.event_count;
+    replicate_energy.push_back(r.energy);
+  }
+
+  SimSummary summary(double measure_time) const {
+    SimSummary s;
+    s.energy = energy.estimate();
+    s.power = power.estimate();
+    s.output_node_energy = output_node_energy.estimate();
+    s.internal_node_energy = internal_node_energy.estimate();
+    s.pi_energy = pi_energy.estimate();
+    s.gate_energy = gate_energy.estimate();
+    s.per_gate_energy.reserve(per_gate_energy.size());
+    for (const RunningStats& g : per_gate_energy) {
+      s.per_gate_energy.push_back(g.estimate());
+    }
+    s.per_gate_output_energy.reserve(per_gate_output_energy.size());
+    for (const RunningStats& g : per_gate_output_energy) {
+      s.per_gate_output_energy.push_back(g.estimate());
+    }
+    s.nets.reserve(net_prob.size());
+    for (std::size_t n = 0; n < net_prob.size(); ++n) {
+      s.nets.push_back({net_prob[n].estimate(), net_density[n].estimate()});
+    }
+    s.replications = energy.count();
+    s.truncated_replications = truncated;
+    s.total_events = total_events;
+    s.measure_time = measure_time;
+    s.replicate_energy = replicate_energy;
+    return s;
+  }
+};
+
+/// Runs replicates [first, first + count) in parallel and folds them into
+/// `acc` in index order.
+void run_batch(const SimEngine& engine, util::ThreadPool& pool,
+               std::uint64_t master_seed, std::size_t first,
+               std::size_t count, Accumulators& acc) {
+  std::vector<SimResult> results(count);
+  pool.parallel_for(count, [&](std::size_t i) {
+    results[i] = engine.run(Rng::derive_stream(master_seed, first + i));
+  });
+  for (const SimResult& r : results) acc.add(r);
+}
+
+}  // namespace
+
+SimSummary monte_carlo(const SimEngine& engine,
+                       const MonteCarloOptions& options,
+                       util::ThreadPool* pool) {
+  require(options.replications >= 1,
+          "monte_carlo: replications must be >= 1");
+  require(options.target_rel_ci >= 0.0,
+          "monte_carlo: target_rel_ci must be >= 0");
+  const bool adaptive = options.target_rel_ci > 0.0;
+  if (adaptive) {
+    require(options.batch_size >= 1, "monte_carlo: batch_size must be >= 1");
+    require(options.max_replications >= options.replications,
+            "monte_carlo: max_replications must be >= replications");
+  }
+
+  util::ThreadPool local_pool(pool ? 1 : options.threads);
+  util::ThreadPool& workers = pool ? *pool : local_pool;
+  const std::uint64_t master_seed = options.sim.seed;
+
+  Accumulators acc;
+  std::size_t next = 0;
+  run_batch(engine, workers, master_seed, next,
+            static_cast<std::size_t>(options.replications), acc);
+  next += static_cast<std::size_t>(options.replications);
+
+  bool target_reached = false;
+  if (adaptive) {
+    const auto met = [&] {
+      const Estimate e = acc.energy.estimate();
+      return e.count >= 2 &&
+             e.ci95 <= options.target_rel_ci * std::abs(e.mean);
+    };
+    target_reached = met();
+    const std::size_t cap =
+        static_cast<std::size_t>(options.max_replications);
+    while (!target_reached && next < cap) {
+      const std::size_t batch =
+          std::min(static_cast<std::size_t>(options.batch_size), cap - next);
+      run_batch(engine, workers, master_seed, next, batch, acc);
+      next += batch;
+      target_reached = met();
+    }
+  }
+
+  SimSummary summary = acc.summary(engine.options().measure_time);
+  summary.target_reached = target_reached;
+  return summary;
+}
+
+SimSummary monte_carlo(
+    const netlist::Netlist& netlist,
+    const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
+    const celllib::Tech& tech, const MonteCarloOptions& options) {
+  const SimEngine engine(netlist, pi_stats, tech, options.sim);
+  return monte_carlo(engine, options);
+}
+
+}  // namespace tr::sim

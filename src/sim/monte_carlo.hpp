@@ -1,0 +1,89 @@
+#pragma once
+// Replicated Monte-Carlo simulation with confidence intervals
+// (DESIGN.md Sec. 8.2).
+//
+// N independent replications of a SimEngine run across a
+// util::ThreadPool; replicate k is driven by the seed stream
+// Rng::derive_stream(master_seed, k), and the Welford reduction into the
+// summary always happens in replicate-index order, so a SimSummary is
+// bit-identical for 1 and N worker threads. An optional early-stop mode
+// keeps adding fixed-size batches of replications until the 95%
+// confidence interval of the total energy is tighter than a target
+// relative error (batch size is an option, never the thread count, to
+// keep the stopping decision deterministic).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/sim_engine.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tr::sim {
+
+struct MonteCarloOptions {
+  /// Per-replication simulation options; `sim.seed` is the master seed
+  /// every replicate stream derives from.
+  SimOptions sim;
+  /// Replication count in fixed mode (target_rel_ci == 0); the size of
+  /// the first batch in early-stop mode.
+  int replications = 16;
+  /// Worker threads; <= 0 selects one per hardware thread. Never affects
+  /// the summary values, only wall time.
+  int threads = 0;
+  /// > 0 enables early stop: replicate until the energy estimate's 95%
+  /// CI half-width is <= target_rel_ci * |mean| (or max_replications).
+  double target_rel_ci = 0.0;
+  /// Replicates added per early-stop round after the first batch.
+  int batch_size = 8;
+  /// Hard cap on replications in early-stop mode.
+  int max_replications = 256;
+};
+
+/// Mean/spread of one net's observed statistics across replications.
+struct NetEstimate {
+  Estimate prob;
+  Estimate density;
+};
+
+/// Streaming (Welford) statistics over N independent replications.
+struct SimSummary {
+  Estimate energy;                ///< total switching energy per window [J]
+  Estimate power;                 ///< [W]
+  Estimate output_node_energy;    ///< [J]
+  Estimate internal_node_energy;  ///< [J]
+  Estimate pi_energy;             ///< [J]
+  Estimate gate_energy;           ///< energy minus PI share, per window [J]
+  std::vector<Estimate> per_gate_energy;  ///< indexed by GateId [J]
+  /// Output-node share of per_gate_energy, the simulated side of the
+  /// exact output-node model bridge (DESIGN.md Sec. 2).
+  std::vector<Estimate> per_gate_output_energy;
+  std::vector<NetEstimate> nets;          ///< indexed by NetId
+
+  std::size_t replications = 0;
+  /// Replications that hit max_events; any non-zero count means the
+  /// estimates mix complete and partial windows — consumers that need a
+  /// complete window (the differential validation suite) must fail.
+  std::size_t truncated_replications = 0;
+  std::uint64_t total_events = 0;
+  double measure_time = 0.0;  ///< per-replication window [s]
+  /// Early-stop mode only: the target was met before max_replications.
+  bool target_reached = false;
+  /// Per-replicate total energy, in replicate order [J] — the raw sample
+  /// behind `energy`, kept for paired comparisons and diagnostics.
+  std::vector<double> replicate_energy;
+};
+
+/// Runs the replications on `pool` (or a private pool when null).
+SimSummary monte_carlo(const SimEngine& engine,
+                       const MonteCarloOptions& options,
+                       util::ThreadPool* pool = nullptr);
+
+/// Convenience: builds the engine and runs.
+SimSummary monte_carlo(
+    const netlist::Netlist& netlist,
+    const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
+    const celllib::Tech& tech, const MonteCarloOptions& options);
+
+}  // namespace tr::sim

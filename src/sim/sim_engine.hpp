@@ -1,0 +1,82 @@
+#pragma once
+// Reusable switch-level simulation engine (DESIGN.md Sec. 8.1).
+//
+// Construction does all the per-netlist work once — net levelization,
+// per-gate H/G path tables, node capacitances, Elmore pin delays, the
+// CTMC rates of every primary-input process. After that the engine is
+// immutable; `run(seed)` executes one independent replication whose
+// mutable state (event queue, net values, accumulators, RNG) is owned by
+// the call, so any number of replications may run concurrently on a
+// thread pool and the result of a replication is a pure function of its
+// seed. Monte-Carlo replication with confidence intervals is layered on
+// top in sim/monte_carlo.hpp.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "boolfn/signal.hpp"
+#include "boolfn/truth_table.hpp"
+#include "celllib/tech.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/switch_sim.hpp"
+
+namespace tr::sim {
+
+class SimEngine {
+public:
+  /// Validates the netlist and options and precomputes all simulation
+  /// tables. `pi_stats` must cover every primary input; the netlist,
+  /// tech and library must outlive the engine.
+  SimEngine(const netlist::Netlist& netlist,
+            const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
+            const celllib::Tech& tech, const SimOptions& options);
+
+  /// One independent replication driven by `seed`. Thread-safe and
+  /// deterministic: the engine is immutable after construction and every
+  /// run owns its mutable state, so the result depends only on `seed`
+  /// (never on which thread runs it or on concurrent runs).
+  SimResult run(std::uint64_t seed) const;
+
+  /// Replication with the options' own seed (the classic simulate()).
+  SimResult run() const { return run(options_.seed); }
+
+  const SimOptions& options() const noexcept { return options_; }
+  const netlist::Netlist& netlist() const noexcept { return netlist_; }
+
+private:
+  /// Immutable per-gate simulation tables.
+  struct GateTables {
+    boolfn::TruthTable output_fn{0};
+    std::vector<boolfn::TruthTable> h_fns;  ///< per internal node
+    std::vector<boolfn::TruthTable> g_fns;
+    std::vector<double> internal_caps;  ///< per internal node [F]
+    double output_cap = 0.0;            ///< diffusion + external load [F]
+    std::vector<double> pin_delay;
+    int level = 0;  ///< topological level of the output net
+  };
+
+  /// Immutable continuous-time Markov input process parameters.
+  struct PiProcess {
+    double rate_up = 0.0;    ///< 0 -> 1 rate
+    double rate_down = 0.0;  ///< 1 -> 0 rate
+    double load_cap = 0.0;   ///< wire + fanout pin capacitance [F]
+    double prob = 0.0;       ///< equilibrium P(1), initial-state draw
+  };
+
+  struct Replication;  // the per-run mutable state (sim_engine.cpp)
+
+  void build_gates();
+  void build_pis(const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats);
+
+  const netlist::Netlist& netlist_;
+  const celllib::Tech& tech_;
+  SimOptions options_;
+
+  std::vector<GateTables> gates_;           ///< indexed by GateId
+  std::vector<PiProcess> pi_;               ///< indexed by NetId
+  std::vector<netlist::NetId> pi_order_;    ///< PIs in RNG draw order
+  std::vector<netlist::GateId> topo_order_;
+};
+
+}  // namespace tr::sim

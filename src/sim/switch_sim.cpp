@@ -1,377 +1,13 @@
 #include "sim/switch_sim.hpp"
 
-#include <algorithm>
-#include <queue>
-
-#include "celllib/cell.hpp"
-#include "delay/elmore.hpp"
-#include "gategraph/gate_graph.hpp"
-#include "util/error.hpp"
-#include "util/rng.hpp"
+#include "sim/sim_engine.hpp"
 
 namespace tr::sim {
 
-using boolfn::SignalStats;
-using boolfn::TruthTable;
-using gategraph::GateGraph;
-using netlist::GateId;
-using netlist::NetId;
-using netlist::Netlist;
-
-namespace {
-
-/// Per-gate precomputed simulation tables and mutable state.
-struct GateRuntime {
-  TruthTable output_fn{0};
-  std::vector<TruthTable> h_fns;  ///< per internal node
-  std::vector<TruthTable> g_fns;
-  std::vector<double> internal_caps;  ///< per internal node [F]
-  double output_cap = 0.0;            ///< diffusion + external load [F]
-  std::vector<double> pin_delay;
-
-  int level = 0;  ///< topological level of the output net
-
-  std::uint64_t input_minterm = 0;
-  std::vector<bool> internal_state;
-  /// Inertial-delay bookkeeping: a scheduled commit is valid only if its
-  /// version matches.
-  std::uint64_t version = 0;
-  bool has_pending = false;
-  bool pending_value = false;
-};
-
-/// Continuous-time Markov input process.
-struct PiProcess {
-  double rate_up = 0.0;    ///< 0 -> 1 rate
-  double rate_down = 0.0;  ///< 1 -> 0 rate
-  double load_cap = 0.0;   ///< wire + fanout pin capacitance [F]
-};
-
-struct Event {
-  double time = 0.0;
-  /// Topological level of the driven net (0 for primary inputs).
-  /// Events at identical times process in level order (delta-cycle
-  /// levelization), which makes the zero-delay mode glitch-free: a gate
-  /// re-evaluates only after all same-instant fan-in updates have
-  /// settled, so only functionally required transitions commit.
-  int level = 0;
-  std::uint64_t seq = 0;  ///< FIFO tie-break within a level
-  enum class Kind : std::uint8_t { pi_toggle, gate_commit } kind = Kind::pi_toggle;
-  int index = 0;  ///< NetId for pi_toggle, GateId for gate_commit
-  bool value = false;
-  std::uint64_t version = 0;  ///< gate_commit validity check
-
-  bool operator>(const Event& rhs) const {
-    if (time != rhs.time) return time > rhs.time;
-    if (level != rhs.level) return level > rhs.level;
-    return seq > rhs.seq;
-  }
-};
-
-class Simulator {
-public:
-  Simulator(const Netlist& netlist,
-            const std::map<NetId, SignalStats>& pi_stats,
-            const celllib::Tech& tech, const SimOptions& options)
-      : netlist_(netlist), tech_(tech), options_(options), rng_(options.seed) {
-    build_gates();
-    build_pis(pi_stats);
-  }
-
-  SimResult run() {
-    initialize_state();
-    const double t_end = options_.warmup_time + options_.measure_time;
-
-    while (!queue_.empty()) {
-      const Event ev = queue_.top();
-      if (ev.time > t_end) break;
-      queue_.pop();
-      ++result_.event_count;
-      require(result_.event_count <= options_.max_events,
-              "switch_sim: event budget exceeded (oscillation or runaway "
-              "configuration?)");
-      if (ev.kind == Event::Kind::pi_toggle) {
-        handle_pi_toggle(ev);
-      } else {
-        handle_gate_commit(ev);
-      }
-    }
-
-    finalize(t_end);
-    return std::move(result_);
-  }
-
-private:
-  void build_gates() {
-    // Net levelization for the delta-cycle event ordering.
-    std::vector<int> net_level(static_cast<std::size_t>(netlist_.net_count()),
-                               0);
-    for (GateId g : netlist_.topological_order()) {
-      const netlist::GateInst& inst = netlist_.gate(g);
-      int level = 0;
-      for (NetId in : inst.inputs) {
-        level = std::max(level, net_level[static_cast<std::size_t>(in)]);
-      }
-      net_level[static_cast<std::size_t>(inst.output)] = level + 1;
-    }
-
-    gates_.reserve(static_cast<std::size_t>(netlist_.gate_count()));
-    for (GateId g = 0; g < netlist_.gate_count(); ++g) {
-      const netlist::GateInst& inst = netlist_.gate(g);
-      const GateGraph graph(inst.config);
-      const std::vector<double> caps = celllib::node_capacitances(
-          graph, tech_, netlist_.external_load(g, tech_));
-
-      GateRuntime rt;
-      rt.output_fn = inst.config.output_function();
-      for (int k = 0; k < graph.internal_node_count(); ++k) {
-        const int node = GateGraph::first_internal_node + k;
-        rt.h_fns.push_back(graph.h_function(node));
-        rt.g_fns.push_back(graph.g_function(node));
-        rt.internal_caps.push_back(caps[static_cast<std::size_t>(node)]);
-      }
-      rt.output_cap = caps[GateGraph::output_node];
-      if (options_.use_gate_delays) {
-        rt.pin_delay = delay::gate_delays(graph, caps, tech_).pin_delay;
-      } else {
-        rt.pin_delay.assign(inst.inputs.size(), 0.0);
-      }
-      rt.internal_state.assign(rt.h_fns.size(), false);
-      rt.level = net_level[static_cast<std::size_t>(inst.output)];
-      gates_.push_back(std::move(rt));
-    }
-  }
-
-  void build_pis(const std::map<NetId, SignalStats>& pi_stats) {
-    pi_.resize(static_cast<std::size_t>(netlist_.net_count()));
-    for (NetId id : netlist_.primary_inputs()) {
-      const auto it = pi_stats.find(id);
-      require(it != pi_stats.end(),
-              "switch_sim: missing statistics for primary input '" +
-                  netlist_.net(id).name + "'");
-      const SignalStats& s = it->second;
-      require(s.prob >= 0.0 && s.prob <= 1.0 && s.density >= 0.0,
-              "switch_sim: invalid PI statistics");
-      PiProcess p;
-      // Two-state CTMC: P(1) = r_up / (r_up + r_down) and the transition
-      // density (both edges) is 2 r_up r_down / (r_up + r_down) = D,
-      // giving r_up = D / (2 (1-P)), r_down = D / (2 P).
-      if (s.density > 0.0 && s.prob > 0.0 && s.prob < 1.0) {
-        p.rate_up = s.density / (2.0 * (1.0 - s.prob));
-        p.rate_down = s.density / (2.0 * s.prob);
-      }
-      p.load_cap = tech_.c_wire;
-      for (const auto& [fan_gate, pin] : netlist_.net(id).fanouts) {
-        p.load_cap += netlist_.library()
-                          .cell(netlist_.gate(fan_gate).cell)
-                          .pin_capacitance(tech_, pin);
-      }
-      pi_[static_cast<std::size_t>(id)] = p;
-      initial_pi_value_[id] = rng_.bernoulli(s.prob);
-    }
-  }
-
-  void initialize_state() {
-    const int n = netlist_.net_count();
-    net_value_.assign(static_cast<std::size_t>(n), false);
-    last_change_.assign(static_cast<std::size_t>(n), 0.0);
-    ones_time_.assign(static_cast<std::size_t>(n), 0.0);
-    transitions_.assign(static_cast<std::size_t>(n), 0);
-    result_.per_gate_energy.assign(
-        static_cast<std::size_t>(netlist_.gate_count()), 0.0);
-
-    // Steady-state logic values from the initial PI assignment.
-    for (const auto& [net, value] : initial_pi_value_) {
-      net_value_[static_cast<std::size_t>(net)] = value;
-    }
-    for (GateId g : netlist_.topological_order()) {
-      const netlist::GateInst& inst = netlist_.gate(g);
-      GateRuntime& rt = gates_[static_cast<std::size_t>(g)];
-      std::uint64_t minterm = 0;
-      for (std::size_t pin = 0; pin < inst.inputs.size(); ++pin) {
-        if (net_value_[static_cast<std::size_t>(inst.inputs[pin])]) {
-          minterm |= 1ULL << pin;
-        }
-      }
-      rt.input_minterm = minterm;
-      net_value_[static_cast<std::size_t>(inst.output)] =
-          rt.output_fn.value_at(minterm);
-      for (std::size_t k = 0; k < rt.h_fns.size(); ++k) {
-        // Undriven nodes start discharged; any driven node takes its
-        // rail value.
-        rt.internal_state[k] = rt.h_fns[k].value_at(minterm);
-      }
-    }
-
-    // Seed PI toggle events.
-    for (NetId id : netlist_.primary_inputs()) {
-      schedule_pi_toggle(id, 0.0);
-    }
-  }
-
-  void schedule_pi_toggle(NetId id, double now) {
-    const PiProcess& p = pi_[static_cast<std::size_t>(id)];
-    const bool current = net_value_[static_cast<std::size_t>(id)];
-    const double rate = current ? p.rate_down : p.rate_up;
-    if (rate <= 0.0) return;  // frozen input
-    Event ev;
-    ev.time = now + rng_.exponential(rate);
-    ev.level = 0;
-    ev.seq = next_seq_++;
-    ev.kind = Event::Kind::pi_toggle;
-    ev.index = id;
-    ev.value = !current;
-    queue_.push(ev);
-  }
-
-  void handle_pi_toggle(const Event& ev) {
-    const NetId net = ev.index;
-    TR_ASSERT(net_value_[static_cast<std::size_t>(net)] != ev.value);
-    record_net_change(net, ev.time);
-    net_value_[static_cast<std::size_t>(net)] = ev.value;
-    if (ev.time >= options_.warmup_time && options_.count_pi_energy) {
-      const double e = tech_.energy_per_transition(
-          pi_[static_cast<std::size_t>(net)].load_cap);
-      result_.pi_energy += e;
-      result_.energy += e;
-    }
-    propagate_net_change(net, ev.time);
-    schedule_pi_toggle(net, ev.time);
-  }
-
-  void handle_gate_commit(const Event& ev) {
-    GateRuntime& rt = gates_[static_cast<std::size_t>(ev.index)];
-    if (!rt.has_pending || ev.version != rt.version) return;  // cancelled
-    rt.has_pending = false;
-    const NetId net = netlist_.gate(ev.index).output;
-    if (net_value_[static_cast<std::size_t>(net)] == ev.value) return;
-    record_net_change(net, ev.time);
-    net_value_[static_cast<std::size_t>(net)] = ev.value;
-    if (ev.time >= options_.warmup_time) {
-      const double e = tech_.energy_per_transition(rt.output_cap);
-      result_.output_node_energy += e;
-      result_.energy += e;
-      result_.per_gate_energy[static_cast<std::size_t>(ev.index)] += e;
-    }
-    propagate_net_change(net, ev.time);
-  }
-
-  void propagate_net_change(NetId net, double now) {
-    for (const auto& [gate, pin] : netlist_.net(net).fanouts) {
-      GateRuntime& rt = gates_[static_cast<std::size_t>(gate)];
-      rt.input_minterm ^= 1ULL << pin;
-      update_internal_nodes(gate, rt, now);
-      evaluate_output(gate, rt, pin, now);
-    }
-  }
-
-  void update_internal_nodes(GateId gate, GateRuntime& rt, double now) {
-    for (std::size_t k = 0; k < rt.h_fns.size(); ++k) {
-      const bool h = rt.h_fns[k].value_at(rt.input_minterm);
-      const bool g = rt.g_fns[k].value_at(rt.input_minterm);
-      TR_ASSERT(!(h && g));  // no rail-to-rail short
-      const bool next = h ? true : (g ? false : rt.internal_state[k]);
-      if (next != rt.internal_state[k]) {
-        rt.internal_state[k] = next;
-        if (now >= options_.warmup_time) {
-          const double e = tech_.energy_per_transition(rt.internal_caps[k]);
-          result_.internal_node_energy += e;
-          result_.energy += e;
-          result_.per_gate_energy[static_cast<std::size_t>(gate)] += e;
-        }
-      }
-    }
-  }
-
-  void evaluate_output(GateId gate, GateRuntime& rt, int pin, double now) {
-    const bool steady = rt.output_fn.value_at(rt.input_minterm);
-    const NetId out = netlist_.gate(gate).output;
-    const bool target = rt.has_pending
-                            ? rt.pending_value
-                            : net_value_[static_cast<std::size_t>(out)];
-    if (steady == target) {
-      // Inertial filtering: a pending pulse shorter than the gate delay is
-      // swallowed by cancelling the scheduled commit.
-      if (rt.has_pending && rt.pending_value != steady) {
-        rt.has_pending = false;
-        ++rt.version;
-      }
-      return;
-    }
-    ++rt.version;
-    rt.has_pending = true;
-    rt.pending_value = steady;
-    Event ev;
-    ev.time = now + rt.pin_delay[static_cast<std::size_t>(pin)];
-    ev.level = rt.level;
-    ev.seq = next_seq_++;
-    ev.kind = Event::Kind::gate_commit;
-    ev.index = gate;
-    ev.value = steady;
-    ev.version = rt.version;
-    queue_.push(ev);
-  }
-
-  void record_net_change(NetId net, double now) {
-    const double start = options_.warmup_time;
-    if (now > start) {
-      const double from =
-          last_change_[static_cast<std::size_t>(net)] > start
-              ? last_change_[static_cast<std::size_t>(net)]
-              : start;
-      if (net_value_[static_cast<std::size_t>(net)]) {
-        ones_time_[static_cast<std::size_t>(net)] += now - from;
-      }
-      ++transitions_[static_cast<std::size_t>(net)];
-    }
-    last_change_[static_cast<std::size_t>(net)] = now;
-  }
-
-  void finalize(double t_end) {
-    result_.nets.resize(static_cast<std::size_t>(netlist_.net_count()));
-    const double start = options_.warmup_time;
-    const double window = options_.measure_time;
-    for (NetId id = 0; id < netlist_.net_count(); ++id) {
-      const std::size_t v = static_cast<std::size_t>(id);
-      double ones = ones_time_[v];
-      if (net_value_[v]) {
-        const double from = last_change_[v] > start ? last_change_[v] : start;
-        ones += t_end - from;
-      }
-      result_.nets[v].prob = window > 0.0 ? ones / window : 0.0;
-      result_.nets[v].density =
-          window > 0.0 ? static_cast<double>(transitions_[v]) / window : 0.0;
-    }
-    result_.power = window > 0.0 ? result_.energy / window : 0.0;
-  }
-
-  const Netlist& netlist_;
-  const celllib::Tech& tech_;
-  SimOptions options_;
-  Rng rng_;
-
-  std::vector<GateRuntime> gates_;
-  std::vector<PiProcess> pi_;
-  std::map<NetId, bool> initial_pi_value_;
-
-  std::vector<bool> net_value_;
-  std::vector<double> last_change_;
-  std::vector<double> ones_time_;
-  std::vector<std::uint64_t> transitions_;
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::uint64_t next_seq_ = 0;
-  SimResult result_;
-};
-
-}  // namespace
-
-SimResult simulate(const Netlist& netlist,
-                   const std::map<NetId, SignalStats>& pi_stats,
+SimResult simulate(const netlist::Netlist& netlist,
+                   const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
                    const celllib::Tech& tech, const SimOptions& options) {
-  netlist.validate();
-  require(options.measure_time > 0.0, "switch_sim: measure_time must be > 0");
-  return Simulator(netlist, pi_stats, tech, options).run();
+  return SimEngine(netlist, pi_stats, tech, options).run();
 }
 
 }  // namespace tr::sim

@@ -1,7 +1,14 @@
 #pragma once
-// Event-driven switch-level simulator — the reproduction's stand-in for
+// Event-driven switch-level simulation — the reproduction's stand-in for
 // the SLS simulator the paper uses to validate the model (Table 3,
 // column S; substitution documented in DESIGN.md Sec. 4.2).
+//
+// This header holds the options/result types and the single-replication
+// entry point. The event loop itself lives in sim/sim_engine.hpp
+// (`SimEngine`), which precomputes the per-netlist tables once and can
+// run any number of independent replications; sim/monte_carlo.hpp runs
+// replicated parallel simulations with confidence intervals on top of it
+// (DESIGN.md Sec. 8).
 //
 // Semantics:
 //  * Primary inputs are continuous-time 0-1 Markov processes: holding
@@ -48,16 +55,28 @@ struct NetObservation {
 
 struct SimResult {
   double energy = 0.0;          ///< total switching energy in window [J]
-  double power = 0.0;           ///< energy / measure_time [W]
+  double power = 0.0;           ///< energy / measured_time [W]
   double output_node_energy = 0.0;
   double internal_node_energy = 0.0;
   double pi_energy = 0.0;
   std::vector<double> per_gate_energy;  ///< indexed by GateId [J]
+  /// Output-node share of per_gate_energy (no internal nodes), the
+  /// simulated side of the exact output-node model bridge (DESIGN.md
+  /// Sec. 2, "output-node consistency property").
+  std::vector<double> per_gate_output_energy;
   std::vector<NetObservation> nets;     ///< indexed by NetId
   std::uint64_t event_count = 0;
+  /// True when the run hit `max_events` and stopped early. The result
+  /// then covers only the partial window `measured_time`; consumers that
+  /// need a complete window (the differential validation suite, the
+  /// Monte-Carlo summaries) must check this flag and fail loudly.
+  bool truncated = false;
+  /// The window the statistics are normalised over [s]: `measure_time`
+  /// for a complete run, the simulated prefix for a truncated one.
+  double measured_time = 0.0;
 };
 
-/// Runs the simulation. `pi_stats` must cover every primary input.
+/// Runs one replication. `pi_stats` must cover every primary input.
 SimResult simulate(const netlist::Netlist& netlist,
                    const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
                    const celllib::Tech& tech, const SimOptions& options);

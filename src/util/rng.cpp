@@ -73,6 +73,18 @@ double Rng::exponential(double rate) {
   return -std::log(1.0 - next_double()) / rate;
 }
 
+std::uint64_t Rng::derive_stream(std::uint64_t seed, std::uint64_t stream) {
+  // Two full splitmix64 rounds over a mix of both words. A single round
+  // of either word alone would leave (seed, stream) and (seed', stream')
+  // collisions trivially constructible; after mixing the first round's
+  // output with an odd-multiplied stream index, any colliding pair must
+  // invert splitmix64.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ ((stream + 1) * 0xd1b54a32d192ed03ULL);
+  return splitmix64(x);
+}
+
 Rng Rng::split() {
   Rng child(0);
   child.state_[0] = next_u64();

@@ -60,6 +60,14 @@ public:
   /// per-component RNGs from one master seed.
   Rng split();
 
+  /// Derives the seed of stream `stream` from a master seed, stateless:
+  /// derive_stream(s, k) is a fixed function of (s, k), so the k-th
+  /// Monte-Carlo replicate gets the same stream no matter which worker
+  /// thread runs it or in which order. Distinct (seed, stream) pairs map
+  /// to uncorrelated seeds (double splitmix64 mixing), and stream 0 is
+  /// decorrelated from Rng(seed) itself.
+  static std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t stream);
+
   // UniformRandomBitGenerator interface (usable with <random> adaptors).
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }

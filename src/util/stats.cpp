@@ -5,6 +5,33 @@
 
 namespace tr {
 
+double t_critical_975(std::size_t df) {
+  // Standard two-sided 95% table. Above df = 30 the value is taken from
+  // the largest tabulated df not exceeding the request, which
+  // overestimates t slightly — confidence intervals only get wider.
+  static constexpr double small_df[] = {
+      0.0,                                                          // df 0
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,      // 1-8
+      2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,      // 9-16
+      2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,      // 17-24
+      2.060,  2.056, 2.052, 2.048, 2.045, 2.042};                   // 25-30
+  if (df <= 30) return small_df[df];
+  if (df < 40) return 2.042;
+  if (df < 60) return 2.021;
+  if (df < 120) return 2.000;
+  return 1.960;
+}
+
+Estimate scaled(const Estimate& e, double factor) {
+  Estimate out = e;
+  const double mag = factor < 0 ? -factor : factor;
+  out.mean *= factor;
+  out.stddev *= mag;
+  out.sem *= mag;
+  out.ci95 *= mag;
+  return out;
+}
+
 void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = x;
@@ -29,6 +56,21 @@ double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 double RunningStats::sem() const noexcept {
   if (n_ < 2) return 0.0;
   return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci95_half_width() const noexcept {
+  if (n_ < 2) return 0.0;
+  return t_critical_975(n_ - 1) * sem();
+}
+
+Estimate RunningStats::estimate() const noexcept {
+  Estimate e;
+  e.mean = mean();
+  e.stddev = stddev();
+  e.sem = sem();
+  e.ci95 = ci95_half_width();
+  e.count = n_;
+  return e;
 }
 
 double percent_reduction(double baseline, double optimized) {

@@ -1,11 +1,39 @@
 #pragma once
 // Lightweight descriptive statistics used by the simulator and the
-// benchmark harnesses (Welford running moments, min/max, relative change).
+// benchmark harnesses (Welford running moments, min/max, confidence
+// intervals, relative change).
 
 #include <cstddef>
 #include <vector>
 
 namespace tr {
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (t such that P(|T_df| <= t) = 0.95). Exact-to-3-decimals table for
+/// small df, conservative (next lower tabulated df) in between, 1.960 in
+/// the normal limit. t_critical_975(0) returns 0 (no interval from one
+/// sample).
+double t_critical_975(std::size_t df);
+
+/// A Monte-Carlo estimate of one scalar: sample moments over `count`
+/// independent replications plus the half-width of the two-sided 95%
+/// Student-t confidence interval for the mean.
+struct Estimate {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< unbiased sample standard deviation
+  double sem = 0.0;     ///< standard error of the mean
+  double ci95 = 0.0;    ///< 95% CI half-width: t_{.975,n-1} * sem
+  std::size_t count = 0;
+
+  /// True when `x` lies inside the 95% confidence interval.
+  bool contains(double x) const {
+    const double d = x - mean;
+    return (d < 0 ? -d : d) <= ci95;
+  }
+};
+
+/// An Estimate linearly rescaled by `factor` (e.g. energy -> power).
+Estimate scaled(const Estimate& e, double factor);
 
 /// Numerically stable running mean/variance accumulator (Welford).
 class RunningStats {
@@ -21,6 +49,11 @@ public:
   double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
   /// Standard error of the mean; 0 when fewer than two samples.
   double sem() const noexcept;
+  /// Half-width of the two-sided 95% Student-t confidence interval; 0
+  /// when fewer than two samples.
+  double ci95_half_width() const noexcept;
+  /// The accumulated moments as one Estimate.
+  Estimate estimate() const noexcept;
 
 private:
   std::size_t n_ = 0;

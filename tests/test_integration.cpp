@@ -56,8 +56,12 @@ PipelineResult run_pipeline(const Netlist& original,
   sim::SimOptions so;
   so.seed = sim_seed;
   so.measure_time = 1.5e-3;
-  r.sim_best = sim::simulate(best, stats, tech, so).power;
-  r.sim_worst = sim::simulate(worst, stats, tech, so).power;
+  const sim::SimResult sim_best = sim::simulate(best, stats, tech, so);
+  const sim::SimResult sim_worst = sim::simulate(worst, stats, tech, so);
+  EXPECT_FALSE(sim_best.truncated);
+  EXPECT_FALSE(sim_worst.truncated);
+  r.sim_best = sim_best.power;
+  r.sim_worst = sim_worst.power;
 
   r.delay_original = delay::circuit_delay(original, tech).critical_path;
   r.delay_best = delay::circuit_delay(best, tech).critical_path;

@@ -179,9 +179,11 @@ TEST(Optimizer, BestBeatsWorstInSwitchLevelSimulation) {
   sim::SimOptions so;
   so.seed = 31;
   so.measure_time = 2e-3;
-  const double e_best = sim::simulate(best, stats, tech, so).energy;
-  const double e_worst = sim::simulate(worst, stats, tech, so).energy;
-  EXPECT_LT(e_best, e_worst);
+  const sim::SimResult sim_best = sim::simulate(best, stats, tech, so);
+  const sim::SimResult sim_worst = sim::simulate(worst, stats, tech, so);
+  ASSERT_FALSE(sim_best.truncated);
+  ASSERT_FALSE(sim_worst.truncated);
+  EXPECT_LT(sim_best.energy, sim_worst.energy);
 }
 
 TEST(Optimizer, MissingPiStatsRejected) {

@@ -1,0 +1,208 @@
+// Property tests for simulator invariants on randomised circuits whose
+// gates are themselves random series-parallel stacks
+// (tests/random_sp_tree.hpp): energy accounting
+// (output + internal + pi == total), engine purity/determinism,
+// replicate-seed independence, and the surfaced max_events truncation
+// (DESIGN.md Sec. 8.1/8.3).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "celllib/cell.hpp"
+#include "celllib/library.hpp"
+#include "random_sp_tree.hpp"
+#include "sim/sim_engine.hpp"
+#include "sim/switch_sim.hpp"
+#include "util/rng.hpp"
+
+namespace tr::sim {
+namespace {
+
+using boolfn::SignalStats;
+using celllib::Cell;
+using celllib::CellLibrary;
+using celllib::Tech;
+using gategraph::SpNode;
+using netlist::NetId;
+using netlist::Netlist;
+
+/// A library of random series-parallel cells with 2..5 inputs each.
+CellLibrary random_sp_library(Rng& rng, int cell_count) {
+  CellLibrary lib;
+  for (int c = 0; c < cell_count; ++c) {
+    const int n = 2 + static_cast<int>(rng.next_below(4));
+    std::vector<int> inputs;
+    std::vector<std::string> pins;
+    for (int i = 0; i < n; ++i) {
+      inputs.push_back(i);
+      pins.push_back("p" + std::to_string(i));
+    }
+    lib.add(Cell("sp" + std::to_string(c), std::move(pins),
+                 testutil::random_sp_tree(std::move(inputs), rng)));
+  }
+  return lib;
+}
+
+/// A small multilevel netlist over the random cells: every gate draws
+/// distinct input nets from the pool of PIs and earlier outputs.
+Netlist random_sp_netlist(const CellLibrary& lib, Rng& rng, int gates) {
+  Netlist nl(lib, "sp_rand");
+  std::vector<NetId> pool;
+  for (int i = 0; i < 6; ++i) {
+    const NetId id = nl.add_net("x" + std::to_string(i));
+    nl.mark_primary_input(id);
+    pool.push_back(id);
+  }
+  const std::vector<std::string> cells = lib.cell_names();
+  for (int g = 0; g < gates; ++g) {
+    const std::string& cell =
+        cells[rng.next_below(static_cast<std::uint64_t>(cells.size()))];
+    const int arity = lib.cell(cell).input_count();
+    rng.shuffle(pool.begin(), pool.end());
+    std::vector<NetId> inputs(pool.begin(), pool.begin() + arity);
+    const NetId out = nl.add_net("t" + std::to_string(g));
+    nl.add_gate("g" + std::to_string(g), cell, std::move(inputs), out);
+    pool.push_back(out);
+  }
+  for (NetId id = 0; id < nl.net_count(); ++id) {
+    if (nl.net(id).fanouts.empty() && !nl.net(id).is_primary_input) {
+      nl.mark_primary_output(id);
+    }
+  }
+  nl.validate();
+  return nl;
+}
+
+std::map<NetId, SignalStats> random_pi_stats(const Netlist& nl, Rng& rng) {
+  std::map<NetId, SignalStats> stats;
+  for (NetId id : nl.primary_inputs()) {
+    stats[id] = {rng.uniform(0.2, 0.8), rng.uniform(1e5, 4e5)};
+  }
+  return stats;
+}
+
+TEST(SimProperties, EnergyAccountingIdentityOnRandomSpCircuits) {
+  Rng rng(20260728);
+  const Tech tech;
+  for (int trial = 0; trial < 6; ++trial) {
+    SCOPED_TRACE(testing::Message() << "trial " << trial);
+    const CellLibrary lib = random_sp_library(rng, 4);
+    const Netlist nl = random_sp_netlist(lib, rng, 6);
+    const auto stats = random_pi_stats(nl, rng);
+    for (bool delays : {true, false}) {
+      SimOptions opt;
+      opt.seed = 1000 + static_cast<std::uint64_t>(trial);
+      opt.measure_time = 4e-4;
+      opt.warmup_time = 1e-5;
+      opt.use_gate_delays = delays;
+      const SimResult r = simulate(nl, stats, tech, opt);
+      ASSERT_FALSE(r.truncated);
+      ASSERT_GT(r.energy, 0.0);
+      EXPECT_NEAR((r.output_node_energy + r.internal_node_energy +
+                   r.pi_energy) /
+                      r.energy,
+                  1.0, 1e-9)
+          << "delays=" << delays;
+      double per_gate_sum = 0.0;
+      for (double e : r.per_gate_energy) per_gate_sum += e;
+      EXPECT_NEAR(per_gate_sum / (r.output_node_energy + r.internal_node_energy),
+                  1.0, 1e-9)
+          << "delays=" << delays;
+      EXPECT_NEAR(r.power * r.measured_time, r.energy, r.energy * 1e-12);
+      EXPECT_DOUBLE_EQ(r.measured_time, opt.measure_time);
+    }
+  }
+}
+
+TEST(SimProperties, EngineRunsArePureFunctionsOfTheSeed) {
+  Rng rng(77);
+  const Tech tech;
+  const CellLibrary lib = random_sp_library(rng, 3);
+  const Netlist nl = random_sp_netlist(lib, rng, 5);
+  const auto stats = random_pi_stats(nl, rng);
+  SimOptions opt;
+  opt.measure_time = 4e-4;
+  const SimEngine engine(nl, stats, tech, opt);
+
+  // Same seed twice from one engine: the first run must not leave any
+  // state behind that could bias the second.
+  const SimResult a = engine.run(42);
+  const SimResult b = engine.run(42);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.event_count, b.event_count);
+  EXPECT_EQ(a.per_gate_energy, b.per_gate_energy);
+
+  // And the engine path equals the one-shot simulate() path.
+  SimOptions seeded = opt;
+  seeded.seed = 42;
+  const SimResult c = simulate(nl, stats, tech, seeded);
+  EXPECT_EQ(a.energy, c.energy);
+  EXPECT_EQ(a.event_count, c.event_count);
+
+  // Distinct derived streams see distinct waveforms.
+  const SimResult d = engine.run(Rng::derive_stream(42, 0));
+  const SimResult e = engine.run(Rng::derive_stream(42, 1));
+  EXPECT_NE(d.energy, e.energy);
+}
+
+TEST(SimProperties, TruncationIsSurfacedNotSilent) {
+  Rng rng(99);
+  const Tech tech;
+  const CellLibrary lib = random_sp_library(rng, 3);
+  const Netlist nl = random_sp_netlist(lib, rng, 5);
+  const auto stats = random_pi_stats(nl, rng);
+
+  SimOptions opt;
+  opt.seed = 5;
+  opt.measure_time = 4e-4;
+  opt.warmup_time = 1e-5;
+  const SimResult full = simulate(nl, stats, tech, opt);
+  ASSERT_FALSE(full.truncated);
+  EXPECT_DOUBLE_EQ(full.measured_time, opt.measure_time);
+  ASSERT_GT(full.event_count, 100u);
+
+  // A budget below the full event count must be reported as a partial
+  // window, with every statistic normalised over the window actually
+  // simulated.
+  opt.max_events = full.event_count / 2;
+  const SimResult partial = simulate(nl, stats, tech, opt);
+  EXPECT_TRUE(partial.truncated);
+  EXPECT_LE(partial.event_count, opt.max_events);
+  EXPECT_LT(partial.measured_time, opt.measure_time);
+  EXPECT_LT(partial.energy, full.energy);
+  if (partial.measured_time > 0.0) {
+    EXPECT_NEAR(partial.power * partial.measured_time, partial.energy,
+                partial.energy * 1e-12);
+  }
+
+  // Degenerate budget: truncation before the warmup ends yields an empty
+  // window, not garbage.
+  opt.max_events = 1;
+  const SimResult empty = simulate(nl, stats, tech, opt);
+  EXPECT_TRUE(empty.truncated);
+  EXPECT_EQ(empty.measured_time, 0.0);
+  EXPECT_EQ(empty.power, 0.0);
+}
+
+TEST(SimProperties, FrozenCircuitProducesNoEvents) {
+  // All-frozen inputs: no toggles, no energy, no truncation — the
+  // engine's empty-queue path.
+  Rng rng(123);
+  const Tech tech;
+  const CellLibrary lib = random_sp_library(rng, 2);
+  const Netlist nl = random_sp_netlist(lib, rng, 3);
+  std::map<NetId, SignalStats> stats;
+  for (NetId id : nl.primary_inputs()) stats[id] = {1.0, 0.0};
+  SimOptions opt;
+  opt.measure_time = 1e-4;
+  const SimResult r = simulate(nl, stats, tech, opt);
+  EXPECT_EQ(r.event_count, 0u);
+  EXPECT_EQ(r.energy, 0.0);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_DOUBLE_EQ(r.measured_time, opt.measure_time);
+}
+
+}  // namespace
+}  // namespace tr::sim

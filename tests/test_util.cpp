@@ -108,6 +108,59 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_EQ(s.sem(), 0.0);
 }
 
+TEST(RunningStats, ConfidenceIntervalUsesStudentT) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // n = 8 -> df = 7 -> t = 2.365.
+  EXPECT_NEAR(s.ci95_half_width(), 2.365 * s.sem(), 1e-12);
+  const Estimate e = s.estimate();
+  EXPECT_DOUBLE_EQ(e.mean, s.mean());
+  EXPECT_DOUBLE_EQ(e.stddev, s.stddev());
+  EXPECT_DOUBLE_EQ(e.sem, s.sem());
+  EXPECT_DOUBLE_EQ(e.ci95, s.ci95_half_width());
+  EXPECT_EQ(e.count, 8u);
+  EXPECT_TRUE(e.contains(s.mean()));
+  EXPECT_TRUE(e.contains(s.mean() + e.ci95));
+  EXPECT_FALSE(e.contains(s.mean() + 2.0 * e.ci95));
+
+  RunningStats single;
+  single.add(1.0);
+  EXPECT_EQ(single.ci95_half_width(), 0.0);
+}
+
+TEST(Stats, StudentTCriticalValues) {
+  EXPECT_NEAR(t_critical_975(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical_975(7), 2.365, 1e-9);
+  EXPECT_NEAR(t_critical_975(30), 2.042, 1e-9);
+  EXPECT_NEAR(t_critical_975(1000), 1.960, 1e-9);
+  EXPECT_EQ(t_critical_975(0), 0.0);
+  // Monotone non-increasing in df, bounded below by the normal quantile.
+  double prev = t_critical_975(1);
+  for (std::size_t df = 2; df <= 200; ++df) {
+    const double t = t_critical_975(df);
+    EXPECT_LE(t, prev) << "df " << df;
+    EXPECT_GE(t, 1.96) << "df " << df;
+    prev = t;
+  }
+}
+
+TEST(Stats, ScaledEstimate) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  const Estimate e = scaled(s.estimate(), -10.0);
+  EXPECT_DOUBLE_EQ(e.mean, -20.0);
+  EXPECT_GT(e.stddev, 0.0);  // spread magnitudes stay positive
+  EXPECT_DOUBLE_EQ(e.stddev, 10.0 * s.stddev());
+  EXPECT_DOUBLE_EQ(e.ci95, 10.0 * s.ci95_half_width());
+  EXPECT_EQ(e.count, 3u);
+}
+
+TEST(Rng, DeriveStreamIsStatelessAndDistinct) {
+  EXPECT_EQ(Rng::derive_stream(5, 3), Rng::derive_stream(5, 3));
+  EXPECT_NE(Rng::derive_stream(5, 3), Rng::derive_stream(5, 4));
+  EXPECT_NE(Rng::derive_stream(5, 3), Rng::derive_stream(6, 3));
+}
+
 TEST(Stats, PercentHelpers) {
   EXPECT_DOUBLE_EQ(percent_reduction(200.0, 150.0), 25.0);
   EXPECT_DOUBLE_EQ(percent_increase(100.0, 104.0), 4.0);
