@@ -4,7 +4,10 @@
 // writes the measurements to a JSON file so the performance trajectory of
 // the hot path is recorded run over run (DESIGN.md Sec. 7.5). The CI
 // perf-smoke job diffs the result against the checked-in baseline and
-// fails on large regressions.
+// fails on large regressions. A second block measures the batch driver
+// (DESIGN.md Sec. 9) over the same circuits: serial vs parallel
+// circuit-level fan-out, the measured speedup, and the shared catalog
+// cache hit rate.
 //
 // Usage:
 //   perf_optimize_suite [--quick] [--reps=N] [--out=PATH]
@@ -37,6 +40,7 @@
 
 #include "benchgen/suite.hpp"
 #include "celllib/library.hpp"
+#include "opt/batch.hpp"
 #include "opt/optimizer.hpp"
 #include "opt/scenario.hpp"
 
@@ -163,6 +167,46 @@ int main(int argc, char** argv) {
       total_ms > 0.0 ? 1e3 * static_cast<double>(total_gates) / total_ms : 0.0;
   std::printf("%-10s %5ld gates  %10.2f ms  %9.0f gates/s\n", "TOTAL",
               total_gates, total_ms, gates_per_sec);
+
+  // Batch driver over the same circuits: circuit-level fan-out with the
+  // shared catalog cache, serial vs parallel, best-of-reps. Each run uses
+  // a fresh library so the cold-cache miss count stays comparable.
+  const auto time_batch = [&](int jobs, celllib::CatalogCacheStats* cache,
+                              int* jobs_used) {
+    double best_ms = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const celllib::CellLibrary batch_lib = celllib::CellLibrary::standard();
+      std::vector<opt::BatchCircuit> batch;
+      for (const CircuitResult& row : results) {
+        const benchgen::BenchmarkSpec& spec = benchgen::suite_entry(row.name);
+        netlist::Netlist nl = benchgen::build_benchmark(batch_lib, spec);
+        auto stats = opt::scenario_a(nl, spec.seed);
+        batch.push_back(
+            opt::BatchCircuit{spec.name, std::move(nl), std::move(stats)});
+      }
+      opt::BatchOptions options;
+      options.jobs = jobs;
+      const opt::BatchReport report =
+          opt::BatchOptimizer(batch_lib, tech, options).run(batch);
+      if (r == 0 || report.elapsed_ms < best_ms) best_ms = report.elapsed_ms;
+      if (cache != nullptr) *cache = report.cache;
+      if (jobs_used != nullptr) *jobs_used = report.jobs;
+    }
+    return best_ms;
+  };
+  const double batch_serial_ms = time_batch(1, nullptr, nullptr);
+  celllib::CatalogCacheStats batch_cache;
+  int batch_jobs = 0;
+  const double batch_parallel_ms = time_batch(0, &batch_cache, &batch_jobs);
+  const double batch_speedup =
+      batch_parallel_ms > 0.0 ? batch_serial_ms / batch_parallel_ms : 0.0;
+  std::printf(
+      "batch driver: %10.2f ms serial -> %10.2f ms on %d jobs "
+      "(%.2fx), cache hit rate %.1f%% (%llu/%llu)\n",
+      batch_serial_ms, batch_parallel_ms, batch_jobs, batch_speedup,
+      batch_cache.hit_rate() * 100.0,
+      static_cast<unsigned long long>(batch_cache.hits),
+      static_cast<unsigned long long>(batch_cache.lookups()));
   const double speedup = measure_reference && total_ms > 0.0
                              ? reference_total_ms / total_ms
                              : -1.0;
@@ -191,6 +235,13 @@ int main(int argc, char** argv) {
     json << ",\n  \"reference_total_ms\": " << reference_total_ms
          << ",\n  \"speedup\": " << speedup;
   }
+  json << ",\n  \"batch\": {\"serial_ms\": " << batch_serial_ms
+       << ", \"parallel_ms\": " << batch_parallel_ms
+       << ", \"jobs\": " << batch_jobs
+       << ", \"speedup\": " << batch_speedup
+       << ", \"cache_hits\": " << batch_cache.hits
+       << ", \"cache_misses\": " << batch_cache.misses
+       << ", \"cache_hit_rate\": " << batch_cache.hit_rate() << "}";
   json << ",\n  \"gates_per_sec\": " << gates_per_sec << "\n}\n";
   std::ofstream(out_path) << json.str();
   std::printf("wrote %s\n", out_path.c_str());

@@ -59,8 +59,32 @@ const std::vector<BenchmarkSpec>& table3_suite() {
   return suite;
 }
 
+const std::vector<BenchmarkSpec>& scaled_suite() {
+  static const std::vector<BenchmarkSpec> suite = [] {
+    // Sizes double from 1k to 8k gates; the same 1.6*sqrt(G) PI formula
+    // as derive_inputs but without its MCNC-era 48-input cap, so the
+    // generated circuits stay wide enough to avoid degenerate depth.
+    const int sizes[] = {1000, 2000, 4000, 8000};
+    std::vector<BenchmarkSpec> tier;
+    for (const int gates : sizes) {
+      BenchmarkSpec spec;
+      spec.name = "syn" + std::to_string(gates);
+      spec.gates = gates;
+      spec.primary_inputs =
+          static_cast<int>(std::lround(1.6 * std::sqrt(gates)));
+      spec.seed = stable_hash(spec.name);
+      tier.push_back(std::move(spec));
+    }
+    return tier;
+  }();
+  return suite;
+}
+
 const BenchmarkSpec& suite_entry(const std::string& name) {
   for (const BenchmarkSpec& spec : table3_suite()) {
+    if (spec.name == name) return spec;
+  }
+  for (const BenchmarkSpec& spec : scaled_suite()) {
     if (spec.name == name) return spec;
   }
   throw Error("suite_entry: unknown benchmark '" + name + "'");

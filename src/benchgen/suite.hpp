@@ -26,7 +26,15 @@ struct BenchmarkSpec {
 /// The 39-circuit suite in Table 3 order (by gate count).
 const std::vector<BenchmarkSpec>& table3_suite();
 
-/// Looks a spec up by name; throws tr::Error when absent.
+/// The scaled synthetic tier: multi-thousand-gate random multilevel
+/// circuits (syn1000 … syn8000, ~15k gates total) that exercise the
+/// batch-optimization path well beyond the paper-sized suite. Same
+/// generator and seed derivation as table3_suite, larger sizes and
+/// uncapped PI counts.
+const std::vector<BenchmarkSpec>& scaled_suite();
+
+/// Looks a spec up by name across table3_suite and scaled_suite; throws
+/// tr::Error when absent.
 const BenchmarkSpec& suite_entry(const std::string& name);
 
 /// Materialises a suite entry as a mapped netlist.

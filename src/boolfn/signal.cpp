@@ -17,7 +17,16 @@ double output_probability(const TruthTable& f,
                           const std::vector<SignalStats>& inputs) {
   require(static_cast<int>(inputs.size()) == f.var_count(),
           "output_probability: input arity mismatch");
-  return f.probability(probs_of(inputs));
+  // The minterm-weight sum is exact in the reals but can overshoot the
+  // unit interval by an ulp in floating point; through thousands of
+  // logic levels (the scaled batch tier) the overshoot compounds until
+  // the downstream [0,1] validation trips. Clamp at the propagation
+  // boundary — but only within the numerical-noise envelope: anything
+  // further out is a genuine model bug that must keep failing loudly,
+  // not be silently rounded into range.
+  const double p = f.probability(probs_of(inputs));
+  TR_ASSERT(p >= -1e-9 && p <= 1.0 + 1e-9);
+  return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
 }
 
 double output_density(const TruthTable& f,

@@ -22,6 +22,7 @@ CellLibrary& CellLibrary::operator=(const CellLibrary& rhs) {
   insertion_order_ = rhs.insertion_order_;
   const std::lock_guard<std::mutex> lock(rhs.catalog_mutex_);
   catalogs_ = rhs.catalogs_;
+  cache_stats_ = {};  // counters describe this instance's lookup history
   return *this;
 }
 
@@ -35,6 +36,7 @@ CellLibrary& CellLibrary::operator=(CellLibrary&& rhs) noexcept {
   cells_ = std::move(rhs.cells_);
   insertion_order_ = std::move(rhs.insertion_order_);
   catalogs_ = std::move(rhs.catalogs_);
+  cache_stats_ = {};  // counters describe this instance's lookup history
   return *this;
 }
 
@@ -80,12 +82,28 @@ std::shared_ptr<const ReorderCatalog> CellLibrary::catalog(
   const std::lock_guard<std::mutex> lock(catalog_mutex_);
   auto it = catalogs_.find(key);
   if (it == catalogs_.end()) {
+    // Build under the lock: concurrent first lookups of the same key must
+    // characterise exactly once (the batch driver's cache-sharing
+    // contract, DESIGN.md Sec. 9.2); later lookups wait and then hit.
+    ++cache_stats_.misses;
     it = catalogs_
              .emplace(key, std::make_shared<const ReorderCatalog>(
                                ReorderCatalog::build(start)))
              .first;
+  } else {
+    ++cache_stats_.hits;
   }
   return it->second;
+}
+
+CatalogCacheStats CellLibrary::catalog_cache_stats() const {
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  return cache_stats_;
+}
+
+std::size_t CellLibrary::cached_catalog_count() const {
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  return catalogs_.size();
 }
 
 void CellLibrary::add(Cell cell) {

@@ -5,6 +5,7 @@
 // aoi33/oai33 so the mapper has a complete 2-to-6 input complex-gate
 // family (documented in DESIGN.md Sec. 4.4).
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +18,24 @@
 namespace tr::celllib {
 
 class ReorderCatalog;
+
+/// Cumulative catalog-cache counters (see CellLibrary::catalog). A hit
+/// returns an already-built characterisation; a miss pays for one
+/// ReorderCatalog::build. Counts are monotone over the library's
+/// lifetime; batch consumers diff two snapshots to get per-run stats
+/// (opt::BatchOptimizer, DESIGN.md Sec. 9.2).
+struct CatalogCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t lookups() const noexcept { return hits + misses; }
+  /// Hits per lookup in [0,1]; 0 when no lookups happened.
+  double hit_rate() const noexcept {
+    return lookups() == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups());
+  }
+};
 
 /// An immutable collection of cells indexed by name.
 class CellLibrary {
@@ -63,6 +82,14 @@ public:
   std::shared_ptr<const ReorderCatalog> catalog(
       const gategraph::GateTopology& start) const;
 
+  /// Snapshot of the cumulative catalog-cache counters. Thread-safe.
+  /// Copies/moves reset the copy's counters to zero (they describe this
+  /// instance's lookup history, not the transferred catalogs).
+  CatalogCacheStats catalog_cache_stats() const;
+
+  /// Number of distinct structural forms currently cached. Thread-safe.
+  std::size_t cached_catalog_count() const;
+
 private:
   std::map<std::string, Cell> cells_;
   std::vector<std::string> insertion_order_;
@@ -70,6 +97,7 @@ private:
   mutable std::mutex catalog_mutex_;
   mutable std::map<std::string, std::shared_ptr<const ReorderCatalog>>
       catalogs_;
+  mutable CatalogCacheStats cache_stats_;
 };
 
 }  // namespace tr::celllib

@@ -1,0 +1,117 @@
+#include "opt/batch.hpp"
+
+#include <chrono>
+
+#include "delay/elmore.hpp"
+#include "opt/scenario.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tr::opt {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point t0,
+                  std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+BatchOptimizer::BatchOptimizer(const celllib::CellLibrary& library,
+                               const celllib::Tech& tech, BatchOptions options)
+    : library_(&library), tech_(tech), options_(std::move(options)) {
+  require(options_.threads_per_circuit >= 0,
+          "BatchOptimizer: threads_per_circuit must be >= 0");
+}
+
+BatchReport BatchOptimizer::run(std::vector<BatchCircuit>& batch) const {
+  for (const BatchCircuit& circuit : batch) {
+    require(&circuit.netlist.library() == library_,
+            "BatchOptimizer: circuit '" + circuit.name +
+                "' references a different CellLibrary than the shared one; "
+                "cross-circuit catalog sharing requires one library "
+                "instance for the whole batch");
+  }
+
+  const celllib::CatalogCacheStats before = library_->catalog_cache_stats();
+  const auto batch_t0 = std::chrono::steady_clock::now();
+
+  BatchReport report;
+  report.circuits.resize(batch.size());
+
+  OptimizeOptions per_circuit = options_.opt;
+  // threads == 0 would route every circuit through the process-wide
+  // shared pool and serialise the batch on its guard mutex; the batch
+  // driver always hands each optimize() its own explicit worker count.
+  per_circuit.threads = options_.threads_per_circuit == 0
+                            ? 1
+                            : options_.threads_per_circuit;
+
+  util::ThreadPool pool(options_.jobs);
+  pool.parallel_for(batch.size(), [&](std::size_t i) {
+    BatchCircuit& circuit = batch[i];
+    BatchCircuitResult& result = report.circuits[i];
+    const auto t0 = std::chrono::steady_clock::now();
+
+    result.name = circuit.name;
+    result.gates = circuit.netlist.gate_count();
+    result.primary_inputs =
+        static_cast<int>(circuit.netlist.primary_inputs().size());
+    result.primary_outputs =
+        static_cast<int>(circuit.netlist.primary_outputs().size());
+    result.critical_path_before =
+        delay::circuit_delay(circuit.netlist, tech_).critical_path;
+    result.report =
+        optimize(circuit.netlist, circuit.pi_stats, tech_, per_circuit);
+    result.critical_path_after =
+        delay::circuit_delay(circuit.netlist, tech_).critical_path;
+
+    result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
+  });
+
+  for (const BatchCircuitResult& result : report.circuits) {
+    report.gates_total += result.gates;
+    report.gates_changed += result.report.gates_changed;
+    report.model_power_before += result.report.model_power_before;
+    report.model_power_after += result.report.model_power_after;
+  }
+
+  const celllib::CatalogCacheStats after = library_->catalog_cache_stats();
+  report.cache.hits = after.hits - before.hits;
+  report.cache.misses = after.misses - before.misses;
+  report.jobs = pool.thread_count();
+  report.elapsed_ms = ms_between(batch_t0, std::chrono::steady_clock::now());
+  return report;
+}
+
+std::uint64_t circuit_seed(std::uint64_t master_seed,
+                           const std::string& name) {
+  // FNV-1a over the master seed's bytes, then the name — stable across
+  // platforms and releases (same rationale as benchgen's suite seeds).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (master_seed >> shift) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+BatchCircuit make_scenario_circuit(netlist::Netlist netlist, char scenario,
+                                   std::uint64_t master_seed) {
+  require(scenario == 'A' || scenario == 'B',
+          "make_scenario_circuit: scenario must be 'A' or 'B'");
+  BatchCircuit circuit{netlist.name(), std::move(netlist), {}};
+  circuit.pi_stats =
+      scenario == 'A'
+          ? scenario_a(circuit.netlist,
+                       circuit_seed(master_seed, circuit.name))
+          : scenario_b(circuit.netlist);
+  return circuit;
+}
+
+}  // namespace tr::opt

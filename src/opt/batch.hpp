@@ -1,0 +1,123 @@
+#pragma once
+// Batch optimization driver (DESIGN.md Sec. 9).
+//
+// The paper's flow is batch-shaped: it reorders an entire benchmark
+// suite per scenario. BatchOptimizer is the production entry point for
+// that shape — it takes N mapped circuits that all reference one shared
+// CellLibrary and optimizes them with two-level parallelism:
+//
+//   * circuit level: circuits fan out over a util::ThreadPool, each
+//     worker owning one circuit end to end (timing, optimize, result);
+//   * gate level: inside each circuit, opt::optimize() scores gates
+//     concurrently with `threads_per_circuit` workers (default 1, so a
+//     wide batch does not oversubscribe the machine; a batch of one can
+//     instead spend every core inside the single optimize call).
+//
+// The shared library is the cache-sharing contract: its catalog cache is
+// concurrency-safe and characterises each distinct structural form
+// exactly once per batch, no matter how many circuits instantiate it or
+// which worker asks first. The report carries the hit/miss delta of the
+// run so callers can assert cache effectiveness.
+//
+// Determinism: every field of the report except the wall-clock
+// measurements (elapsed_ms) is bit-identical for any `jobs` and
+// `threads_per_circuit` values — circuits are independent, workers write
+// disjoint slots, results are assembled in input order, and optimize()
+// itself is deterministic by contract.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "boolfn/signal.hpp"
+#include "celllib/library.hpp"
+#include "celllib/tech.hpp"
+#include "netlist/netlist.hpp"
+#include "opt/optimizer.hpp"
+
+namespace tr::opt {
+
+/// One circuit of a batch job; the netlist is optimized in place. The
+/// netlist must reference the batch's shared CellLibrary (enforced by
+/// identity in BatchOptimizer::run), otherwise each circuit would
+/// characterise into its own cache and the batch would share nothing.
+struct BatchCircuit {
+  std::string name;
+  netlist::Netlist netlist;
+  std::map<netlist::NetId, boolfn::SignalStats> pi_stats;
+};
+
+struct BatchOptions {
+  /// Circuit-level workers; 0 = one per hardware thread, 1 = serial.
+  int jobs = 0;
+  /// Gate-level workers inside each optimize() call (the second level).
+  /// Overrides OptimizeOptions::threads. Keep at 1 when the batch is
+  /// wide; raise it for small batches of large circuits.
+  int threads_per_circuit = 1;
+  /// Per-circuit optimization settings (objective, model, delay budget,
+  /// instance restriction). `opt.threads` is ignored.
+  OptimizeOptions opt;
+};
+
+/// Per-circuit outcome, in batch input order.
+struct BatchCircuitResult {
+  std::string name;
+  int gates = 0;
+  int primary_inputs = 0;
+  int primary_outputs = 0;
+  OptimizeReport report;
+  double critical_path_before = 0.0;  ///< Elmore critical path [s]
+  double critical_path_after = 0.0;
+  double elapsed_ms = 0.0;  ///< wall clock of this circuit's optimize
+};
+
+struct BatchReport {
+  std::vector<BatchCircuitResult> circuits;  ///< batch input order
+  int gates_total = 0;
+  int gates_changed = 0;
+  double model_power_before = 0.0;  ///< sum over circuits [W]
+  double model_power_after = 0.0;
+  /// Catalog-cache delta of this run (requires the batch to be the
+  /// library's only concurrent user for the delta to be attributable).
+  celllib::CatalogCacheStats cache;
+  int jobs = 0;            ///< circuit-level workers actually used
+  double elapsed_ms = 0.0; ///< wall clock of the whole batch
+};
+
+class BatchOptimizer {
+public:
+  /// `library` is the shared cache carrier; it must outlive the
+  /// optimizer and every batch netlist.
+  BatchOptimizer(const celllib::CellLibrary& library,
+                 const celllib::Tech& tech, BatchOptions options = {});
+
+  /// Optimizes every circuit of `batch` in place and reports per-circuit
+  /// and aggregate results. Throws tr::Error when a netlist references a
+  /// different library than the shared one. The first exception raised
+  /// by a circuit aborts the remaining unclaimed circuits and is
+  /// rethrown.
+  BatchReport run(std::vector<BatchCircuit>& batch) const;
+
+  const BatchOptions& options() const noexcept { return options_; }
+
+private:
+  const celllib::CellLibrary* library_;
+  celllib::Tech tech_;
+  BatchOptions options_;
+};
+
+/// Deterministic per-circuit seed for scenario statistics: an FNV-1a mix
+/// of the master seed and the circuit name, so every circuit of a batch
+/// draws an independent stream while the whole batch stays reproducible
+/// from one --seed value.
+std::uint64_t circuit_seed(std::uint64_t master_seed, const std::string& name);
+
+/// Wraps a netlist as a BatchCircuit with scenario statistics attached:
+/// scenario 'A' draws per-input statistics from circuit_seed(master_seed,
+/// name); scenario 'B' uses the fixed latch statistics (seed unused).
+/// The circuit name is the netlist's name.
+BatchCircuit make_scenario_circuit(netlist::Netlist netlist, char scenario,
+                                   std::uint64_t master_seed);
+
+}  // namespace tr::opt

@@ -1,0 +1,181 @@
+#include "opt/batch_report.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace tr::opt {
+
+namespace {
+
+using util::JsonWriter;
+
+const char* objective_name(Objective objective) {
+  return objective == Objective::minimize_power ? "minimize_power"
+                                                : "maximize_power";
+}
+
+const char* model_name(power::ModelKind model) {
+  return model == power::ModelKind::extended ? "extended" : "output_only";
+}
+
+const char* effective_engine(const OptimizeOptions& opt) {
+  // optimize() routes delay-budgeted runs to the reference engine
+  // regardless of the requested engine; report what actually ran.
+  const bool reference = opt.engine == Engine::reference ||
+                         opt.max_circuit_delay_increase >= 0.0;
+  return reference ? "reference" : "catalog";
+}
+
+void write_circuit_object(JsonWriter& w, const BatchCircuit& circuit,
+                          const BatchCircuitResult& result,
+                          const BatchJsonOptions& json) {
+  w.begin_object();
+  w.key("name");
+  w.value(result.name);
+  w.key("gates");
+  w.value(result.gates);
+  w.key("primary_inputs");
+  w.value(result.primary_inputs);
+  w.key("primary_outputs");
+  w.value(result.primary_outputs);
+  w.key("model_power_before_w");
+  w.value(result.report.model_power_before);
+  w.key("model_power_after_w");
+  w.value(result.report.model_power_after);
+  w.key("power_reduction_pct");
+  w.value(percent_reduction(result.report.model_power_before,
+                            result.report.model_power_after));
+  w.key("critical_path_before_s");
+  w.value(result.critical_path_before);
+  w.key("critical_path_after_s");
+  w.value(result.critical_path_after);
+  w.key("gates_changed");
+  w.value(result.report.gates_changed);
+  w.key("configs_rejected_by_delay");
+  w.value(result.report.configs_rejected_by_delay);
+  w.key("configs_rejected_by_instance");
+  w.value(result.report.configs_rejected_by_instance);
+  if (json.include_gate_configs) {
+    // Committed configurations of every *changed* gate, GateId order —
+    // enough to re-apply the result to a canonically-configured netlist
+    // (the same contract as the configuration sidecar, config_io.hpp).
+    w.key("gate_configs");
+    w.begin_array();
+    for (const GateDecision& decision : result.report.decisions) {
+      if (!decision.changed) continue;
+      const netlist::GateInst& inst = circuit.netlist.gate(decision.gate);
+      w.begin_object();
+      w.key("gate");
+      w.value(inst.name);
+      w.key("cell");
+      w.value(inst.cell);
+      w.key("output");
+      w.value(circuit.netlist.net(inst.output).name);
+      w.key("config");
+      w.value(inst.config.canonical_key());
+      w.key("power_before_w");
+      w.value(decision.original_power);
+      w.key("power_after_w");
+      w.value(decision.chosen_power);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (json.include_timing) {
+    w.key("elapsed_ms");
+    w.value(result.elapsed_ms);
+  }
+  w.end_object();
+}
+
+void write_cache_object(JsonWriter& w, const celllib::CatalogCacheStats& c) {
+  w.begin_object();
+  w.key("hits");
+  w.value(c.hits);
+  w.key("misses");
+  w.value(c.misses);
+  w.key("lookups");
+  w.value(c.lookups());
+  w.key("hit_rate");
+  w.value(c.hit_rate());
+  w.end_object();
+}
+
+}  // namespace
+
+void write_batch_json(const std::vector<BatchCircuit>& batch,
+                      const BatchReport& report, const BatchOptions& options,
+                      std::ostream& out, const BatchJsonOptions& json) {
+  require(batch.size() == report.circuits.size(),
+          "write_batch_json: batch and report sizes differ");
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("schema_version");
+  w.value(1);
+  w.key("generator");
+  w.value("tr_opt");
+  w.key("objective");
+  w.value(objective_name(options.opt.objective));
+  w.key("model");
+  w.value(model_name(options.opt.model));
+  w.key("engine");
+  w.value(effective_engine(options.opt));
+  w.key("delay_budget");
+  if (options.opt.max_circuit_delay_increase >= 0.0) {
+    w.value(options.opt.max_circuit_delay_increase);
+  } else {
+    w.null_value();
+  }
+  w.key("restrict_to_instance");
+  w.value(options.opt.restrict_to_instance);
+
+  w.key("circuits");
+  w.begin_array();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    write_circuit_object(w, batch[i], report.circuits[i], json);
+  }
+  w.end_array();
+
+  w.key("totals");
+  w.begin_object();
+  w.key("circuits");
+  w.value(static_cast<std::int64_t>(report.circuits.size()));
+  w.key("gates");
+  w.value(report.gates_total);
+  w.key("gates_changed");
+  w.value(report.gates_changed);
+  w.key("model_power_before_w");
+  w.value(report.model_power_before);
+  w.key("model_power_after_w");
+  w.value(report.model_power_after);
+  w.key("power_reduction_pct");
+  w.value(percent_reduction(report.model_power_before,
+                            report.model_power_after));
+  w.end_object();
+
+  w.key("catalog_cache");
+  write_cache_object(w, report.cache);
+
+  if (json.include_timing) {
+    w.key("timing");
+    w.begin_object();
+    w.key("jobs");
+    w.value(report.jobs);
+    w.key("elapsed_ms");
+    w.value(report.elapsed_ms);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_circuit_json(const BatchCircuit& circuit,
+                        const BatchCircuitResult& result, std::ostream& out,
+                        const BatchJsonOptions& json) {
+  JsonWriter w(out);
+  write_circuit_object(w, circuit, result, json);
+}
+
+}  // namespace tr::opt

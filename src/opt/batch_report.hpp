@@ -1,0 +1,39 @@
+#pragma once
+// Machine-readable rendering of batch results (DESIGN.md Sec. 9.3).
+//
+// One JSON document per batch. The renderer is shared by the tr_opt CLI
+// and the golden-file regression tests, so the schema is the CLI's
+// output contract: every field except the wall-clock block is a pure
+// function of (circuits, options, seed), byte-identical across runs and
+// across --jobs values. Goldens disable the wall-clock block with
+// `include_timing = false`.
+
+#include <iosfwd>
+
+#include "opt/batch.hpp"
+
+namespace tr::opt {
+
+struct BatchJsonOptions {
+  /// Emit the nondeterministic wall-clock fields (per-circuit and batch
+  /// elapsed_ms, worker counts). Off for byte-stable golden output.
+  bool include_timing = true;
+  /// Emit the per-gate configuration arrays (committed reorderings of
+  /// every changed gate). Off shrinks reports for very large batches.
+  bool include_gate_configs = true;
+};
+
+/// Writes the whole-batch JSON document. `batch` must be the vector the
+/// report was produced from (same order); the post-optimization netlists
+/// supply the per-gate committed configurations.
+void write_batch_json(const std::vector<BatchCircuit>& batch,
+                      const BatchReport& report, const BatchOptions& options,
+                      std::ostream& out, const BatchJsonOptions& json = {});
+
+/// Writes one circuit's JSON document (the same object shape as the
+/// entries of the whole-batch document's "circuits" array).
+void write_circuit_json(const BatchCircuit& circuit,
+                        const BatchCircuitResult& result, std::ostream& out,
+                        const BatchJsonOptions& json = {});
+
+}  // namespace tr::opt

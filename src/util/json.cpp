@@ -1,0 +1,150 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace tr::util {
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, value);
+  TR_ASSERT(ec == std::errc());
+  std::string text(buffer, end);
+  // JSON has no bare "1e+30" exponent restriction, but shortest-form
+  // integers ("42") are valid JSON numbers already; nothing to fix up.
+  return text;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out) : out_(&out) {}
+
+void JsonWriter::write_indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) *out_ << "  ";
+}
+
+void JsonWriter::prepare_value() {
+  if (stack_.empty()) return;  // root value
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already wrote the separator and indent
+  }
+  TR_ASSERT(stack_.back() == Frame::array);
+  if (has_entries_.back()) *out_ << ',';
+  *out_ << '\n';
+  write_indent();
+  has_entries_.back() = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  TR_ASSERT(!stack_.empty() && stack_.back() == Frame::object);
+  TR_ASSERT(!key_pending_);
+  if (has_entries_.back()) *out_ << ',';
+  *out_ << '\n';
+  write_indent();
+  *out_ << '"' << json_escape(name) << "\": ";
+  has_entries_.back() = true;
+  key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+  prepare_value();
+  *out_ << '{';
+  stack_.push_back(Frame::object);
+  has_entries_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  TR_ASSERT(!stack_.empty() && stack_.back() == Frame::object);
+  TR_ASSERT(!key_pending_);
+  const bool had_entries = has_entries_.back();
+  stack_.pop_back();
+  has_entries_.pop_back();
+  if (had_entries) {
+    *out_ << '\n';
+    write_indent();
+  }
+  *out_ << '}';
+  if (stack_.empty()) *out_ << '\n';
+}
+
+void JsonWriter::begin_array() {
+  prepare_value();
+  *out_ << '[';
+  stack_.push_back(Frame::array);
+  has_entries_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  TR_ASSERT(!stack_.empty() && stack_.back() == Frame::array);
+  TR_ASSERT(!key_pending_);
+  const bool had_entries = has_entries_.back();
+  stack_.pop_back();
+  has_entries_.pop_back();
+  if (had_entries) {
+    *out_ << '\n';
+    write_indent();
+  }
+  *out_ << ']';
+  if (stack_.empty()) *out_ << '\n';
+}
+
+void JsonWriter::value(std::string_view text) {
+  prepare_value();
+  *out_ << '"' << json_escape(text) << '"';
+}
+
+void JsonWriter::value(double number) {
+  prepare_value();
+  *out_ << json_double(number);
+}
+
+void JsonWriter::value(std::int64_t number) {
+  prepare_value();
+  *out_ << number;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  prepare_value();
+  *out_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+  prepare_value();
+  *out_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::null_value() {
+  prepare_value();
+  *out_ << "null";
+}
+
+}  // namespace tr::util

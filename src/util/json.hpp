@@ -1,0 +1,75 @@
+#pragma once
+// A minimal streaming JSON writer for the machine-readable reports the
+// batch driver emits (DESIGN.md Sec. 9.3).
+//
+// Hand-rolled on purpose: the container image carries no JSON library,
+// and the golden-file regression layer needs *byte-stable* output — the
+// writer therefore fixes every formatting decision (2-space indentation,
+// one key per line, no trailing whitespace) and renders doubles with the
+// shortest representation that round-trips to the same IEEE-754 value
+// (std::to_chars), so equal numbers always serialise to equal bytes.
+//
+// Usage is push-style and validated with assertions, not a DOM:
+//
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.key("name"); w.value("alu2");
+//   w.key("gates"); w.value(401);
+//   w.key("circuits"); w.begin_array();
+//   ... w.end_array();
+//   w.end_object();  // emits the final newline
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tr::util {
+
+/// Renders one double as the shortest decimal string that parses back to
+/// the identical IEEE-754 value. Non-finite values (which valid reports
+/// never contain) are rendered as null.
+std::string json_double(double value);
+
+/// Escapes a string body per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(std::string_view text);
+
+class JsonWriter {
+public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit JsonWriter(std::ostream& out);
+
+  /// Containers. end_object / end_array close the innermost container;
+  /// closing the outermost container emits a trailing newline.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key of the next value; only valid directly inside an object.
+  void key(std::string_view name);
+
+  /// Scalars.
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(bool flag);
+  void null_value();
+
+private:
+  enum class Frame { object, array };
+
+  void prepare_value();  ///< comma/newline/indent bookkeeping before a value
+  void write_indent();
+
+  std::ostream* out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_entries_;  ///< per frame: wrote at least one entry
+  bool key_pending_ = false;
+};
+
+}  // namespace tr::util

@@ -1,0 +1,257 @@
+// BatchOptimizer contract tests (ISSUE 4): batch results are bit-identical
+// to N independent optimize() calls, deterministic across worker counts
+// (both levels), the shared catalog cache characterises each structural
+// form exactly once per batch, and the JSON report is byte-stable across
+// --jobs values — including over the full 39-circuit Table 3 suite (the
+// acceptance criterion, with a > 50% cache hit rate).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/classic.hpp"
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "mapper/mapper.hpp"
+#include "netlist/blif.hpp"
+#include "opt/batch.hpp"
+#include "opt/batch_report.hpp"
+#include "opt/scenario.hpp"
+#include "util/error.hpp"
+
+namespace tr::opt {
+namespace {
+
+using celllib::CellLibrary;
+using celllib::Tech;
+
+constexpr std::uint64_t kSeed = 1;
+
+/// Suite entries small enough to optimize many times in one test.
+const std::vector<std::string>& small_suite() {
+  static const std::vector<std::string> names{"b1", "cm82a", "decod",
+                                              "cm85a", "cmb"};
+  return names;
+}
+
+std::vector<BatchCircuit> make_batch(const CellLibrary& library,
+                                     const std::vector<std::string>& names) {
+  std::vector<BatchCircuit> batch;
+  for (const std::string& name : names) {
+    batch.push_back(make_scenario_circuit(
+        benchgen::build_benchmark(library, benchgen::suite_entry(name)), 'A',
+        kSeed));
+  }
+  return batch;
+}
+
+void expect_identical_reports(const OptimizeReport& a,
+                              const OptimizeReport& b) {
+  EXPECT_EQ(a.model_power_before, b.model_power_before);
+  EXPECT_EQ(a.model_power_after, b.model_power_after);
+  EXPECT_EQ(a.gates_changed, b.gates_changed);
+  EXPECT_EQ(a.configs_rejected_by_delay, b.configs_rejected_by_delay);
+  EXPECT_EQ(a.configs_rejected_by_instance, b.configs_rejected_by_instance);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    const GateDecision& da = a.decisions[i];
+    const GateDecision& db = b.decisions[i];
+    EXPECT_EQ(da.gate, db.gate);
+    EXPECT_EQ(da.config_count, db.config_count);
+    EXPECT_EQ(da.chosen_power, db.chosen_power);
+    EXPECT_EQ(da.best_power, db.best_power);
+    EXPECT_EQ(da.worst_power, db.worst_power);
+    EXPECT_EQ(da.original_power, db.original_power);
+    EXPECT_EQ(da.changed, db.changed);
+  }
+}
+
+void expect_identical_configs(const netlist::Netlist& a,
+                              const netlist::Netlist& b) {
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  for (netlist::GateId g = 0; g < a.gate_count(); ++g) {
+    EXPECT_EQ(a.gate(g).config.canonical_key(),
+              b.gate(g).config.canonical_key())
+        << "gate " << g;
+  }
+}
+
+TEST(BatchOptimizer, MatchesIndependentOptimizeCalls) {
+  // Batch run against one shared library...
+  const CellLibrary shared = CellLibrary::standard();
+  const Tech tech;
+  std::vector<BatchCircuit> batch = make_batch(shared, small_suite());
+  BatchOptions options;
+  options.jobs = 4;
+  options.threads_per_circuit = 2;
+  const BatchReport report =
+      BatchOptimizer(shared, tech, options).run(batch);
+
+  // ... must be bit-identical to N independent optimize() calls against
+  // a *different* library instance (proving cache sharing changes no
+  // result, only work).
+  const CellLibrary independent_lib = CellLibrary::standard();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    netlist::Netlist fresh = benchgen::build_benchmark(
+        independent_lib, benchgen::suite_entry(small_suite()[i]));
+    const auto stats = scenario_a(fresh, circuit_seed(kSeed, fresh.name()));
+    OptimizeOptions opt;
+    opt.threads = 1;
+    const OptimizeReport expected = optimize(fresh, stats, tech, opt);
+    expect_identical_reports(expected, report.circuits[i].report);
+    expect_identical_configs(fresh, batch[i].netlist);
+  }
+}
+
+TEST(BatchOptimizer, DeterministicAcrossWorkerCounts) {
+  const Tech tech;
+  std::vector<BatchReport> reports;
+  std::vector<std::vector<BatchCircuit>> batches;
+  const std::vector<std::pair<int, int>> shapes = {
+      {1, 1}, {4, 1}, {2, 3}, {0, 1}};
+  for (const auto& [jobs, threads] : shapes) {
+    const CellLibrary library = CellLibrary::standard();
+    std::vector<BatchCircuit> batch = make_batch(library, small_suite());
+    BatchOptions options;
+    options.jobs = jobs;
+    options.threads_per_circuit = threads;
+    reports.push_back(BatchOptimizer(library, tech, options).run(batch));
+    batches.push_back(std::move(batch));
+  }
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    ASSERT_EQ(reports[0].circuits.size(), reports[r].circuits.size());
+    EXPECT_EQ(reports[0].gates_total, reports[r].gates_total);
+    EXPECT_EQ(reports[0].gates_changed, reports[r].gates_changed);
+    EXPECT_EQ(reports[0].model_power_before, reports[r].model_power_before);
+    EXPECT_EQ(reports[0].model_power_after, reports[r].model_power_after);
+    EXPECT_EQ(reports[0].cache.hits, reports[r].cache.hits);
+    EXPECT_EQ(reports[0].cache.misses, reports[r].cache.misses);
+    for (std::size_t i = 0; i < reports[0].circuits.size(); ++i) {
+      expect_identical_reports(reports[0].circuits[i].report,
+                               reports[r].circuits[i].report);
+      expect_identical_configs(batches[0][i].netlist, batches[r][i].netlist);
+    }
+  }
+}
+
+TEST(BatchOptimizer, SharesCatalogCacheAcrossCircuits) {
+  const CellLibrary library = CellLibrary::standard();
+  const Tech tech;
+
+  // First batch on a cold cache: one miss per distinct structural form,
+  // everything else hits — well above the 50% bar even on this small
+  // batch, and lookups must equal one catalog fetch per gate.
+  std::vector<BatchCircuit> batch = make_batch(library, small_suite());
+  BatchOptions options;
+  options.jobs = 3;
+  const BatchReport cold = BatchOptimizer(library, tech, options).run(batch);
+  EXPECT_EQ(cold.cache.lookups(),
+            static_cast<std::uint64_t>(cold.gates_total));
+  EXPECT_EQ(cold.cache.misses, library.cached_catalog_count());
+  EXPECT_GT(cold.cache.hit_rate(), 0.5);
+
+  // A second batch over the same library re-characterises nothing: the
+  // canonical starting forms are already cached (optimized configs map
+  // to the same stored keys only for unchanged gates, so fresh
+  // canonical netlists are the clean probe).
+  std::vector<BatchCircuit> again = make_batch(library, small_suite());
+  const BatchReport warm = BatchOptimizer(library, tech, options).run(again);
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_EQ(warm.cache.hits, warm.cache.lookups());
+}
+
+TEST(BatchOptimizer, RejectsForeignLibraryNetlists) {
+  const CellLibrary shared = CellLibrary::standard();
+  const CellLibrary other = CellLibrary::standard();
+  const Tech tech;
+  std::vector<BatchCircuit> batch;
+  batch.push_back(make_scenario_circuit(
+      benchgen::build_benchmark(other, benchgen::suite_entry("b1")), 'A',
+      kSeed));
+  EXPECT_THROW(BatchOptimizer(shared, tech).run(batch), Error);
+}
+
+TEST(BatchOptimizer, EmptyBatch) {
+  const CellLibrary library = CellLibrary::standard();
+  const Tech tech;
+  std::vector<BatchCircuit> batch;
+  const BatchReport report = BatchOptimizer(library, tech).run(batch);
+  EXPECT_EQ(report.circuits.size(), 0u);
+  EXPECT_EQ(report.gates_total, 0);
+  EXPECT_EQ(report.cache.lookups(), 0u);
+}
+
+TEST(BatchOptimizer, PropagatesCircuitFailures) {
+  const CellLibrary library = CellLibrary::standard();
+  const Tech tech;
+  std::vector<BatchCircuit> batch = make_batch(library, {"b1", "cm82a"});
+  batch[1].pi_stats.clear();  // optimize() must throw: missing PI stats
+  BatchOptions options;
+  options.jobs = 2;
+  EXPECT_THROW(BatchOptimizer(library, tech, options).run(batch), Error);
+}
+
+TEST(BatchOptimizer, ClassicCircuitsBatch) {
+  // The embedded classics go through the technology mapper, mirroring
+  // the tr_opt --suite classic path end to end.
+  const CellLibrary library = CellLibrary::standard();
+  const Tech tech;
+  std::vector<BatchCircuit> batch;
+  for (const std::string& name : benchgen::classic_names()) {
+    const auto logic =
+        netlist::read_blif_logic_string(benchgen::classic_blif(name), name);
+    batch.push_back(make_scenario_circuit(
+        mapper::map_network(logic, library), 'A', kSeed));
+  }
+  const BatchReport report = BatchOptimizer(library, tech).run(batch);
+  ASSERT_EQ(report.circuits.size(), benchgen::classic_names().size());
+  for (const BatchCircuitResult& result : report.circuits) {
+    EXPECT_GT(result.gates, 0);
+    EXPECT_GT(result.report.model_power_before, 0.0);
+    EXPECT_LE(result.report.model_power_after,
+              result.report.model_power_before);
+  }
+  EXPECT_GT(report.cache.hit_rate(), 0.5);
+}
+
+TEST(BatchOptimizer, FullSuiteDeterministicWithHighHitRate) {
+  // Acceptance criterion: the full 39-circuit suite batch-optimizes
+  // deterministically (same JSON for jobs=1 and jobs=N) with a catalog
+  // cache hit rate above 50%.
+  const Tech tech;
+  std::vector<std::string> names;
+  for (const auto& spec : benchgen::table3_suite()) names.push_back(spec.name);
+
+  BatchJsonOptions json;
+  json.include_timing = false;
+
+  std::string serial_json;
+  std::string parallel_json;
+  for (const int jobs : {1, 0}) {
+    const CellLibrary library = CellLibrary::standard();
+    std::vector<BatchCircuit> batch = make_batch(library, names);
+    BatchOptions options;
+    options.jobs = jobs;
+    const BatchReport report =
+        BatchOptimizer(library, tech, options).run(batch);
+    EXPECT_EQ(report.circuits.size(), 39u);
+    EXPECT_GT(report.cache.hit_rate(), 0.5);
+    EXPECT_GT(report.gates_changed, 0);
+    std::ostringstream out;
+    write_batch_json(batch, report, options, out, json);
+    (jobs == 1 ? serial_json : parallel_json) = out.str();
+  }
+  EXPECT_EQ(serial_json, parallel_json);
+}
+
+TEST(CircuitSeed, StableAndNameSensitive) {
+  EXPECT_EQ(circuit_seed(1, "alu2"), circuit_seed(1, "alu2"));
+  EXPECT_NE(circuit_seed(1, "alu2"), circuit_seed(2, "alu2"));
+  EXPECT_NE(circuit_seed(1, "alu2"), circuit_seed(1, "alu4"));
+  // Pinned value: the golden files depend on this derivation; changing
+  // it invalidates tests/golden/ (regenerate via TR_UPDATE_GOLDEN).
+  EXPECT_EQ(circuit_seed(0, ""), 0xa8c7f832281a39c5ULL);
+}
+
+}  // namespace
+}  // namespace tr::opt

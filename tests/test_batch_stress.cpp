@@ -1,0 +1,122 @@
+// Batch stress (ISSUE 4, `slow` label): generate and batch-optimize the
+// scaled synthetic tier — >= 10k gates across four multi-thousand-gate
+// circuits — and assert the run completes without truncation while
+// memory stays gate-count-proportional: the shared catalog cache must
+// remain bounded by the number of distinct structural forms (a
+// library-sized constant, independent of gate count), and on Linux the
+// resident-set growth of the whole run must stay under a generous
+// per-gate bound that any super-linear blowup would break.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "opt/batch.hpp"
+#include "opt/batch_report.hpp"
+
+#ifdef __linux__
+#include <fstream>
+#include <string>
+#endif
+
+namespace tr::opt {
+namespace {
+
+using celllib::CellLibrary;
+using celllib::Tech;
+
+/// Current resident set in bytes via /proc/self/statm; 0 off Linux.
+long long resident_bytes() {
+#ifdef __linux__
+  std::ifstream statm("/proc/self/statm");
+  long long pages_total = 0;
+  long long pages_resident = 0;
+  statm >> pages_total >> pages_resident;
+  return pages_resident * 4096;
+#else
+  return 0;
+#endif
+}
+
+TEST(BatchStress, ScaledTierOptimizesWithoutTruncation) {
+  const long long rss_before = resident_bytes();
+
+  const CellLibrary library = CellLibrary::standard();
+  const Tech tech;
+  std::vector<BatchCircuit> batch;
+  int expected_gates = 0;
+  for (const auto& spec : benchgen::scaled_suite()) {
+    batch.push_back(make_scenario_circuit(
+        benchgen::build_benchmark(library, spec), 'A', /*master_seed=*/7));
+    expected_gates += spec.gates;
+  }
+  ASSERT_GE(expected_gates, 10000) << "scaled tier shrank below the bar";
+
+  BatchOptions options;
+  options.jobs = 0;  // circuit-level fan-out over all cores
+  const BatchReport report = BatchOptimizer(library, tech, options).run(batch);
+
+  // No truncation anywhere: every circuit reports a decision for every
+  // gate, and every decision explored at least the incoming config.
+  EXPECT_EQ(report.gates_total, expected_gates);
+  ASSERT_EQ(report.circuits.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const BatchCircuitResult& result = report.circuits[i];
+    EXPECT_EQ(result.gates, batch[i].netlist.gate_count());
+    ASSERT_EQ(result.report.decisions.size(),
+              static_cast<std::size_t>(result.gates));
+    for (const GateDecision& decision : result.report.decisions) {
+      EXPECT_GE(decision.gate, 0);
+      EXPECT_GE(decision.config_count, 1);
+    }
+  }
+  EXPECT_GT(report.gates_changed, 0);
+
+  // Cache memory is flat in gate count: one catalog per distinct
+  // structural form, bounded by the cell library, not by the 15k gates.
+  EXPECT_LE(library.cached_catalog_count(), library.size());
+  EXPECT_EQ(report.cache.lookups(),
+            static_cast<std::uint64_t>(report.gates_total));
+  EXPECT_GT(report.cache.hit_rate(), 0.99);
+
+  // The full JSON report renders untruncated: one gate_configs entry per
+  // changed gate across all circuits.
+  std::ostringstream out;
+  write_batch_json(batch, report, options, out);
+  const std::string json = out.str();
+  std::size_t entries = 0;
+  for (std::size_t at = json.find("\"gate\":"); at != std::string::npos;
+       at = json.find("\"gate\":", at + 1)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, static_cast<std::size_t>(report.gates_changed));
+
+  // Linear-ish memory: generously 48 KiB per gate end to end (netlists,
+  // statistics, catalogs, decisions, the JSON text). A quadratic term at
+  // this scale would overshoot by orders of magnitude.
+  const long long rss_after = resident_bytes();
+  if (rss_before > 0 && rss_after > rss_before) {
+    const long long grown = rss_after - rss_before;
+    EXPECT_LT(grown, 48LL * 1024 * expected_gates)
+        << "batch RSS grew " << grown / (1024 * 1024) << " MiB for "
+        << expected_gates << " gates";
+  }
+}
+
+TEST(BatchStress, ScaledSuiteSpecsAreWellFormed) {
+  int total = 0;
+  for (const auto& spec : benchgen::scaled_suite()) {
+    EXPECT_GE(spec.gates, 1000);
+    EXPECT_GT(spec.primary_inputs, 48)
+        << spec.name << ": scaled tier should exceed the MCNC PI cap";
+    EXPECT_EQ(spec.seed, benchgen::suite_entry(spec.name).seed);
+    total += spec.gates;
+  }
+  EXPECT_GE(total, 10000);
+}
+
+}  // namespace
+}  // namespace tr::opt

@@ -1,0 +1,114 @@
+// Golden-file regression for the tr_opt JSON output (ISSUE 4): the
+// deterministic report for the four embedded classic circuits must stay
+// byte-identical to the checked-in fixture, across runs and across
+// worker counts at both parallelism levels.
+//
+// The test drives the exact library path the CLI uses (load classics ->
+// map -> make_scenario_circuit -> BatchOptimizer -> write_batch_json
+// with timing off), so a golden mismatch means the CLI's output contract
+// changed. Intentional schema changes: regenerate with
+//   TR_UPDATE_GOLDEN=1 ctest -R GoldenTrOpt
+// and commit the refreshed tests/golden/ files with the change that
+// caused them.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "benchgen/classic.hpp"
+#include "celllib/library.hpp"
+#include "mapper/mapper.hpp"
+#include "netlist/blif.hpp"
+#include "opt/batch.hpp"
+#include "opt/batch_report.hpp"
+
+namespace tr::opt {
+namespace {
+
+using celllib::CellLibrary;
+using celllib::Tech;
+
+#ifndef TR_GOLDEN_DIR
+#error "TR_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+std::string golden_path(const std::string& name) {
+  return std::string(TR_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return {};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The tr_opt --suite classic --seed 1 --no-timing pipeline.
+std::string classic_batch_json(int jobs, int threads_per_circuit,
+                               BatchJsonOptions json) {
+  const CellLibrary library = CellLibrary::standard();
+  const Tech tech;
+  std::vector<BatchCircuit> batch;
+  for (const std::string& name : benchgen::classic_names()) {
+    const auto logic =
+        netlist::read_blif_logic_string(benchgen::classic_blif(name), name);
+    batch.push_back(make_scenario_circuit(
+        mapper::map_network(logic, library), 'A', /*master_seed=*/1));
+  }
+  BatchOptions options;
+  options.jobs = jobs;
+  options.threads_per_circuit = threads_per_circuit;
+  const BatchReport report =
+      BatchOptimizer(library, tech, options).run(batch);
+  std::ostringstream out;
+  json.include_timing = false;  // goldens are wall-clock-free by contract
+  write_batch_json(batch, report, options, out, json);
+  return out.str();
+}
+
+TEST(GoldenTrOpt, ClassicSuiteMatchesGolden) {
+  const std::string current = classic_batch_json(1, 1, {});
+  const std::string path = golden_path("tr_opt_classic.json");
+
+  if (std::getenv("TR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << current;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+
+  const std::string golden = read_file(path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden " << path
+      << " — run with TR_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(golden, current)
+      << "tr_opt JSON drifted from the golden; if intentional, regenerate "
+         "with TR_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+TEST(GoldenTrOpt, ByteStableAcrossWorkerCounts) {
+  const std::string serial = classic_batch_json(1, 1, {});
+  EXPECT_EQ(serial, classic_batch_json(4, 1, {}));
+  EXPECT_EQ(serial, classic_batch_json(2, 2, {}));
+  EXPECT_EQ(serial, classic_batch_json(0, 1, {}));
+}
+
+TEST(GoldenTrOpt, ByteStableAcrossRepeatedRuns) {
+  const std::string first = classic_batch_json(0, 1, {});
+  EXPECT_EQ(first, classic_batch_json(0, 1, {}));
+}
+
+TEST(GoldenTrOpt, GateConfigsToggleOnlyRemovesArrays) {
+  BatchJsonOptions lean;
+  lean.include_gate_configs = false;
+  const std::string without = classic_batch_json(1, 1, lean);
+  EXPECT_EQ(without.find("\"gate_configs\""), std::string::npos);
+  const std::string with_configs = classic_batch_json(1, 1, {});
+  EXPECT_NE(with_configs.find("\"gate_configs\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tr::opt

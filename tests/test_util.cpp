@@ -1,5 +1,6 @@
 // Unit tests for the util subsystem: RNG determinism and distribution
-// sanity, running statistics, string helpers, table rendering.
+// sanity, running statistics, string helpers, table rendering, and the
+// byte-stable JSON writer behind the batch reports.
 
 #include <gtest/gtest.h>
 
@@ -7,6 +8,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -213,6 +215,90 @@ TEST(Error, RequireCarriesMessage) {
     EXPECT_NE(std::string(e.what()).find("specific message"),
               std::string::npos);
   }
+}
+
+TEST(Json, DoubleRendersShortestRoundTrip) {
+  EXPECT_EQ(util::json_double(0.0), "0");
+  EXPECT_EQ(util::json_double(1.5), "1.5");
+  EXPECT_EQ(util::json_double(0.1), "0.1");  // shortest form, not 0.1000...
+  EXPECT_EQ(util::json_double(-2.75e-7), "-2.75e-07");
+  EXPECT_EQ(util::json_double(std::nan("")), "null");
+  // Round-trip guarantee: parsing the text recovers the exact bits.
+  const double value = 1.4874833205017656e-06;
+  EXPECT_EQ(std::stod(util::json_double(value)), value);
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(util::json_escape("x\n\t\x01"), "x\\n\\t\\u0001");
+}
+
+TEST(Json, WriterProducesStableDocument) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("name");
+  w.value("c17");
+  w.key("gates");
+  w.value(6);
+  w.key("ratio");
+  w.value(0.5);
+  w.key("flags");
+  w.begin_array();
+  w.value(true);
+  w.value(false);
+  w.null_value();
+  w.end_array();
+  w.key("empty_obj");
+  w.begin_object();
+  w.end_object();
+  w.key("empty_arr");
+  w.begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"name\": \"c17\",\n"
+            "  \"gates\": 6,\n"
+            "  \"ratio\": 0.5,\n"
+            "  \"flags\": [\n"
+            "    true,\n"
+            "    false,\n"
+            "    null\n"
+            "  ],\n"
+            "  \"empty_obj\": {},\n"
+            "  \"empty_arr\": []\n"
+            "}\n");
+}
+
+TEST(Json, NestedContainersIndentConsistently) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_array();
+  w.begin_object();
+  w.key("inner");
+  w.begin_array();
+  w.value(1);
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  EXPECT_EQ(out.str(),
+            "[\n"
+            "  {\n"
+            "    \"inner\": [\n"
+            "      1\n"
+            "    ]\n"
+            "  }\n"
+            "]\n");
+}
+
+TEST(Json, MisuseTripsAssertions) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_array();
+  EXPECT_THROW(w.key("no-keys-in-arrays"), InternalError);
+  EXPECT_THROW(w.end_object(), InternalError);
 }
 
 }  // namespace

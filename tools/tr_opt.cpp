@@ -1,0 +1,338 @@
+// tr_opt — batch transistor-reordering optimizer (DESIGN.md Sec. 9).
+//
+// The production entry point for the paper's suite-shaped flow: load N
+// circuits, map them onto the Table 2 library, optimize all of them with
+// two-level parallelism (circuit-level fan-out over gate-level scoring)
+// against one shared reordering-catalog cache, and emit a deterministic
+// machine-readable JSON report.
+//
+// Usage:
+//   tr_opt [circuit ...] [options]
+//
+// Circuits (positional, repeatable; --suite appends whole suites):
+//   <name>.blif   BLIF file: generic (.names) models are mapped onto the
+//                 library, mapped (.gate) models are loaded directly
+//   <name>.v      structural Verilog (the writer's subset)
+//   c17 ...       an embedded classic (see benchgen::classic_names)
+//   alu2 ...      a Table 3 / scaled suite entry, generated on the fly
+//
+// Options:
+//   --suite classic|table3|scaled  append the whole suite
+//   --scenario A|B       input-statistics scenario (default A)
+//   --seed N             master seed; per-circuit streams derive from it
+//                        and the circuit name (default 1)
+//   --jobs N             circuit-level workers, 0 = hardware (default 0)
+//   --threads-per-circuit N  gate-level workers per circuit (default 1)
+//   --objective minimize|maximize   power objective (default minimize)
+//   --model extended|output_only    gate power model (default extended)
+//   --delay-budget F     admit only configurations keeping the critical
+//                        path within (1+F)x the original (reference
+//                        engine; default off)
+//   --restrict-instance  only same-layout-instance reorderings
+//   --out DIR            write batch.json + one <circuit>.json per
+//                        circuit into DIR instead of stdout
+//   --no-timing          omit wall-clock fields (byte-stable output)
+//   --no-gate-configs    omit the per-gate configuration arrays
+//
+// stdout carries exactly one JSON document (or nothing with --out);
+// progress and the human summary go to stderr. Every JSON field except
+// the wall-clock block is bit-identical across runs and --jobs values.
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/classic.hpp"
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "mapper/mapper.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/verilog.hpp"
+#include "opt/batch.hpp"
+#include "opt/batch_report.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace tr;
+
+int usage(const char* error) {
+  if (error != nullptr) std::cerr << "tr_opt: " << error << "\n";
+  std::cerr
+      << "usage: tr_opt [circuit ...] [--suite classic|table3|scaled]\n"
+         "              [--scenario A|B] [--seed N] [--jobs N]\n"
+         "              [--threads-per-circuit N]\n"
+         "              [--objective minimize|maximize]\n"
+         "              [--model extended|output_only] [--delay-budget F]\n"
+         "              [--restrict-instance] [--out DIR] [--no-timing]\n"
+         "              [--no-gate-configs]\n"
+         "circuits: BLIF/structural-Verilog files, embedded classics "
+         "(c17, fulladder, cmp2, dec2to4),\n"
+         "or generated suite entries (b1 ... alu4, syn1000 ... syn8000)\n";
+  return 2;
+}
+
+bool is_classic(const std::string& name) {
+  for (const std::string& classic : benchgen::classic_names()) {
+    if (classic == name) return true;
+  }
+  return false;
+}
+
+const benchgen::BenchmarkSpec* find_suite_entry(const std::string& name) {
+  for (const auto& spec : benchgen::table3_suite()) {
+    if (spec.name == name) return &spec;
+  }
+  for (const auto& spec : benchgen::scaled_suite()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+netlist::Netlist load_circuit(const std::string& spec,
+                              const celllib::CellLibrary& library) {
+  if (is_classic(spec)) {
+    const auto logic =
+        netlist::read_blif_logic_string(benchgen::classic_blif(spec), spec);
+    return mapper::map_network(logic, library);
+  }
+  if (const benchgen::BenchmarkSpec* entry = find_suite_entry(spec)) {
+    return benchgen::build_benchmark(library, *entry);
+  }
+  if (spec.ends_with(".blif")) {
+    std::ifstream in(spec);
+    require(in.good(), "cannot open BLIF file '" + spec + "'");
+    std::stringstream text;
+    text << in.rdbuf();
+    // Mapped BLIF carries .gate lines; generic BLIF carries .names
+    // blocks and goes through the technology mapper.
+    if (text.str().find("\n.gate") != std::string::npos) {
+      return netlist::read_blif_mapped_string(text.str(), library, spec);
+    }
+    return mapper::map_network(
+        netlist::read_blif_logic_string(text.str(), spec), library);
+  }
+  if (spec.ends_with(".v")) {
+    std::ifstream in(spec);
+    require(in.good(), "cannot open Verilog file '" + spec + "'");
+    return netlist::read_verilog(library, in, spec);
+  }
+  throw Error("unknown circuit '" + spec +
+              "' (not a classic, suite entry, .blif or .v file)");
+}
+
+std::string sanitize_filename(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    out += safe ? c : '_';
+  }
+  return out.empty() ? "circuit" : out;
+}
+
+/// Strict numeric parsing: a flag value that is not entirely a number of
+/// the expected kind is a usage error, never a silent 0 (a mistyped
+/// --delay-budget must not quietly enable a zero-increase budget).
+long long parse_int(const std::string& flag, const std::string& text) {
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    std::exit(usage((flag + " expects an integer, got '" + text + "'").c_str()));
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty() || text.front() == '-') {
+    std::exit(usage(
+        (flag + " expects a non-negative integer, got '" + text + "'").c_str()));
+  }
+  return value;
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    std::exit(usage((flag + " expects a number, got '" + text + "'").c_str()));
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> circuit_specs;
+  char scenario = 'A';
+  std::uint64_t seed = 1;
+  std::string out_dir;
+  opt::BatchOptions options;
+  opt::BatchJsonOptions json;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::exit(usage((std::string(flag) + " needs a value").c_str()));
+      }
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      const std::string suite = next("--suite");
+      if (suite == "classic") {
+        for (const std::string& name : benchgen::classic_names()) {
+          circuit_specs.push_back(name);
+        }
+      } else if (suite == "table3") {
+        for (const auto& spec : benchgen::table3_suite()) {
+          circuit_specs.push_back(spec.name);
+        }
+      } else if (suite == "scaled") {
+        for (const auto& spec : benchgen::scaled_suite()) {
+          circuit_specs.push_back(spec.name);
+        }
+      } else {
+        return usage(("unknown suite '" + suite + "'").c_str());
+      }
+    } else if (arg == "--scenario") {
+      const std::string s = next("--scenario");
+      if (s != "A" && s != "B") return usage("scenario must be A or B");
+      scenario = s[0];
+    } else if (arg == "--seed") {
+      seed = parse_u64("--seed", next("--seed"));
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<int>(parse_int("--jobs", next("--jobs")));
+    } else if (arg == "--threads-per-circuit") {
+      options.threads_per_circuit = static_cast<int>(
+          parse_int("--threads-per-circuit", next("--threads-per-circuit")));
+    } else if (arg == "--objective") {
+      const std::string o = next("--objective");
+      if (o == "minimize") {
+        options.opt.objective = opt::Objective::minimize_power;
+      } else if (o == "maximize") {
+        options.opt.objective = opt::Objective::maximize_power;
+      } else {
+        return usage("objective must be minimize or maximize");
+      }
+    } else if (arg == "--model") {
+      const std::string m = next("--model");
+      if (m == "extended") {
+        options.opt.model = power::ModelKind::extended;
+      } else if (m == "output_only") {
+        options.opt.model = power::ModelKind::output_only;
+      } else {
+        return usage("model must be extended or output_only");
+      }
+    } else if (arg == "--delay-budget") {
+      options.opt.max_circuit_delay_increase =
+          parse_double("--delay-budget", next("--delay-budget"));
+    } else if (arg == "--restrict-instance") {
+      options.opt.restrict_to_instance = true;
+    } else if (arg == "--out") {
+      out_dir = next("--out");
+    } else if (arg == "--no-timing") {
+      json.include_timing = false;
+    } else if (arg == "--no-gate-configs") {
+      json.include_gate_configs = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(("unknown option '" + arg + "'").c_str());
+    } else {
+      circuit_specs.push_back(arg);
+    }
+  }
+  if (circuit_specs.empty()) return usage("no circuits given");
+
+  try {
+    const celllib::CellLibrary library = celllib::CellLibrary::standard();
+    const celllib::Tech tech;
+
+    std::vector<opt::BatchCircuit> batch;
+    batch.reserve(circuit_specs.size());
+    for (const std::string& spec : circuit_specs) {
+      batch.push_back(opt::make_scenario_circuit(load_circuit(spec, library),
+                                                 scenario, seed));
+      const opt::BatchCircuit& circuit = batch.back();
+      std::cerr << "loaded " << circuit.name << ": "
+                << circuit.netlist.gate_count() << " gates\n";
+    }
+
+    const opt::BatchOptimizer optimizer(library, tech, options);
+    const opt::BatchReport report = optimizer.run(batch);
+
+    if (out_dir.empty()) {
+      write_batch_json(batch, report, options, std::cout, json);
+    } else {
+      namespace fs = std::filesystem;
+      fs::create_directories(out_dir);
+      {
+        std::ofstream out(fs::path(out_dir) / "batch.json");
+        require(out.good(), "cannot write to '" + out_dir + "'");
+        write_batch_json(batch, report, options, out, json);
+      }
+      // Deterministic, collision-proof file names: bump a suffix until
+      // the final name is genuinely unused ("a", "a", "a_2" must yield
+      // three distinct files, not overwrite one another).
+      std::set<std::string> taken;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::string base = sanitize_filename(report.circuits[i].name);
+        std::string final_name = base;
+        for (int suffix = 2; taken.contains(final_name); ++suffix) {
+          final_name = base + "_" + std::to_string(suffix);
+        }
+        taken.insert(final_name);
+        std::ofstream out(fs::path(out_dir) / (final_name + ".json"));
+        require(out.good(),
+                "cannot write circuit report for '" + final_name + "'");
+        write_circuit_json(batch[i], report.circuits[i], out, json);
+      }
+      std::cerr << "reports written to " << out_dir << "/\n";
+    }
+
+    std::cerr << "optimized " << report.circuits.size() << " circuits, "
+              << report.gates_total << " gates (" << report.gates_changed
+              << " reordered): model power "
+              << format_fixed(report.model_power_before * 1e6, 3) << " -> "
+              << format_fixed(report.model_power_after * 1e6, 3) << " uW ("
+              << format_fixed(percent_reduction(report.model_power_before,
+                                                report.model_power_after),
+                              1)
+              << "% reduction), catalog cache hit rate "
+              << format_fixed(report.cache.hit_rate() * 100.0, 1) << "% ("
+              << report.cache.hits << "/" << report.cache.lookups()
+              << "), " << format_fixed(report.elapsed_ms, 1) << " ms on "
+              << report.jobs << " jobs\n";
+  } catch (const Error& e) {
+    std::cerr << "tr_opt: error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
