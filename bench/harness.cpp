@@ -1,5 +1,7 @@
 #include "harness.hpp"
 
+#include <algorithm>
+
 #include "delay/elmore.hpp"
 #include "opt/optimizer.hpp"
 #include "power/circuit_power.hpp"
@@ -63,6 +65,11 @@ PipelineRow run_pipeline(
   row.sim_replications = static_cast<int>(reduction.count());
   row.sim_truncated = sim_best.truncated_replications > 0 ||
                       sim_worst.truncated_replications > 0;
+  row.sim_events = sim_best.total_events + sim_worst.total_events;
+  row.sim_elapsed_seconds =
+      sim_best.elapsed_seconds + sim_worst.elapsed_seconds;
+  row.sim_scratch_bytes = std::max(sim_best.scratch_high_water_bytes,
+                                   sim_worst.scratch_high_water_bytes);
 
   // Column D: delay increase of the power-best mapping vs the original
   // cell-library mapping.

@@ -29,6 +29,13 @@ struct PipelineRow {
   /// column then covers partial windows and must not be trusted.
   bool sim_truncated = false;
   double delay_increase = 0.0;   ///< column D [%]
+
+  // Simulation-engine throughput diagnostics (DESIGN.md Sec. 10.4),
+  // summed over the paired best/worst Monte-Carlo runs: lets the paper
+  // tables double as a coarse perf trend, next to BENCH_sim.json.
+  std::uint64_t sim_events = 0;
+  double sim_elapsed_seconds = 0.0;
+  std::size_t sim_scratch_bytes = 0;  ///< max scratch high-water observed
 };
 
 /// Runs optimize-best / optimize-worst, evaluates both with the model and

@@ -7,6 +7,9 @@
 // one in scenario A." Expected shape: positive average M and S, smaller
 // than the scenario A averages.
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <iostream>
 
 #include "benchgen/suite.hpp"
@@ -32,12 +35,18 @@ int main() {
   TextTable table({"circuit", "G", "M [%]", "S [%]", "S ±95 [%]", "D [%]"});
   RunningStats m_stats, s_stats, d_stats;
   bool truncated = false;
+  std::uint64_t sim_events = 0;
+  double sim_seconds = 0.0;
+  std::size_t sim_scratch = 0;
   for (const benchgen::BenchmarkSpec& spec : benchgen::table3_suite()) {
     const netlist::Netlist original = benchgen::build_benchmark(lib, spec);
     const auto pi_stats = opt::scenario_b(original, clock_hz);
     const bench::PipelineRow row =
         bench::run_pipeline(original, pi_stats, tech, spec.seed + 2, 150.0);
     truncated = truncated || row.sim_truncated;
+    sim_events += row.sim_events;
+    sim_seconds += row.sim_elapsed_seconds;
+    sim_scratch = std::max(sim_scratch, row.sim_scratch_bytes);
     table.add_row({row.name, std::to_string(row.gates),
                    format_fixed(row.model_reduction, 1),
                    format_fixed(row.sim_reduction, 1),
@@ -58,6 +67,12 @@ int main() {
   std::cout << "\nPaper finding: scenario B reductions are roughly half the\n"
             << "scenario A ones (compare with table3_scenario_a). Latch and\n"
             << "clock-line power is not included, as in the paper.\n";
+  std::printf(
+      "\nsim engine: %llu events in %.2f s (%.2e events/s), "
+      "scratch high-water %.1f KiB\n",
+      static_cast<unsigned long long>(sim_events), sim_seconds,
+      sim_seconds > 0.0 ? static_cast<double>(sim_events) / sim_seconds : 0.0,
+      static_cast<double>(sim_scratch) / 1024.0);
   if (truncated) {
     std::cout << "\nWARNING: at least one simulation replication hit the "
                  "event budget;\nthe S column covers partial windows.\n";

@@ -1,5 +1,7 @@
 #include "sim/monte_carlo.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -22,6 +24,7 @@ struct Accumulators {
   std::size_t truncated = 0;
   std::uint64_t total_events = 0;
   std::vector<double> replicate_energy;
+  std::size_t scratch_high_water = 0;
 
   void add(const SimResult& r) {
     energy.add(r.energy);
@@ -47,6 +50,7 @@ struct Accumulators {
     if (r.truncated) ++truncated;
     total_events += r.event_count;
     replicate_energy.push_back(r.energy);
+    scratch_high_water = std::max(scratch_high_water, r.scratch_bytes);
   }
 
   SimSummary summary(double measure_time) const {
@@ -74,20 +78,28 @@ struct Accumulators {
     s.total_events = total_events;
     s.measure_time = measure_time;
     s.replicate_energy = replicate_energy;
+    s.scratch_high_water_bytes = scratch_high_water;
     return s;
   }
 };
 
 /// Runs replicates [first, first + count) in parallel and folds them into
-/// `acc` in index order.
+/// `acc` in index order. `results` is a recycled slot pool: slots keep
+/// their vector capacities batch over batch, and each worker thread
+/// reuses one thread-local ReplicationScratch across every replication
+/// it runs, so steady-state replication does not allocate
+/// (DESIGN.md Sec. 10.2).
 void run_batch(const SimEngine& engine, util::ThreadPool& pool,
                std::uint64_t master_seed, std::size_t first,
-               std::size_t count, Accumulators& acc) {
-  std::vector<SimResult> results(count);
+               std::size_t count, Accumulators& acc,
+               std::vector<SimResult>& results) {
+  if (results.size() < count) results.resize(count);
   pool.parallel_for(count, [&](std::size_t i) {
-    results[i] = engine.run(Rng::derive_stream(master_seed, first + i));
+    thread_local ReplicationScratch scratch;
+    engine.run(Rng::derive_stream(master_seed, first + i), scratch,
+               results[i]);
   });
-  for (const SimResult& r : results) acc.add(r);
+  for (std::size_t i = 0; i < count; ++i) acc.add(results[i]);
 }
 
 }  // namespace
@@ -106,14 +118,16 @@ SimSummary monte_carlo(const SimEngine& engine,
             "monte_carlo: max_replications must be >= replications");
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   util::ThreadPool local_pool(pool ? 1 : options.threads);
   util::ThreadPool& workers = pool ? *pool : local_pool;
   const std::uint64_t master_seed = options.sim.seed;
 
   Accumulators acc;
+  std::vector<SimResult> results;
   std::size_t next = 0;
   run_batch(engine, workers, master_seed, next,
-            static_cast<std::size_t>(options.replications), acc);
+            static_cast<std::size_t>(options.replications), acc, results);
   next += static_cast<std::size_t>(options.replications);
 
   bool target_reached = false;
@@ -129,7 +143,7 @@ SimSummary monte_carlo(const SimEngine& engine,
     while (!target_reached && next < cap) {
       const std::size_t batch =
           std::min(static_cast<std::size_t>(options.batch_size), cap - next);
-      run_batch(engine, workers, master_seed, next, batch, acc);
+      run_batch(engine, workers, master_seed, next, batch, acc, results);
       next += batch;
       target_reached = met();
     }
@@ -137,15 +151,33 @@ SimSummary monte_carlo(const SimEngine& engine,
 
   SimSummary summary = acc.summary(engine.options().measure_time);
   summary.target_reached = target_reached;
+  summary.elapsed_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - wall_start)
+                                .count();
+  if (summary.elapsed_seconds > 0.0) {
+    summary.events_per_sec =
+        static_cast<double>(summary.total_events) / summary.elapsed_seconds;
+    summary.replications_per_sec =
+        static_cast<double>(summary.replications) / summary.elapsed_seconds;
+  }
   return summary;
+}
+
+SimSummary monte_carlo(const netlist::Netlist& netlist,
+                       const PiStatsTable& pi_stats,
+                       const celllib::Tech& tech,
+                       const MonteCarloOptions& options) {
+  const SimEngine engine(netlist, pi_stats, tech, options.sim);
+  return monte_carlo(engine, options);
 }
 
 SimSummary monte_carlo(
     const netlist::Netlist& netlist,
     const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
     const celllib::Tech& tech, const MonteCarloOptions& options) {
-  const SimEngine engine(netlist, pi_stats, tech, options.sim);
-  return monte_carlo(engine, options);
+  return monte_carlo(netlist,
+                     PiStatsTable(netlist.net_count(), pi_stats), tech,
+                     options);
 }
 
 }  // namespace tr::sim

@@ -11,6 +11,13 @@
 // confidence interval of the total energy is tighter than a target
 // relative error (batch size is an option, never the thread count, to
 // keep the stopping decision deterministic).
+//
+// Each worker thread owns one ReplicationScratch reused across all the
+// replications it executes (and across monte_carlo calls on the same
+// pool), so steady-state replication allocates nothing; result slots are
+// likewise recycled batch over batch (DESIGN.md Sec. 10.2). Only the
+// wall-clock throughput diagnostics of the summary depend on this —
+// every estimate is a pure function of the options.
 
 #include <cstdint>
 #include <map>
@@ -73,6 +80,15 @@ struct SimSummary {
   /// Per-replicate total energy, in replicate order [J] — the raw sample
   /// behind `energy`, kept for paired comparisons and diagnostics.
   std::vector<double> replicate_energy;
+
+  // Throughput diagnostics (DESIGN.md Sec. 10.4): wall-clock figures,
+  // excluded from the determinism contract (every estimate above is a
+  // pure function of the options; these depend on machine and threads).
+  double elapsed_seconds = 0.0;        ///< wall time of the whole call [s]
+  double events_per_sec = 0.0;         ///< total_events / elapsed_seconds
+  double replications_per_sec = 0.0;   ///< replications / elapsed_seconds
+  /// Largest ReplicationScratch footprint any replicate reported.
+  std::size_t scratch_high_water_bytes = 0;
 };
 
 /// Runs the replications on `pool` (or a private pool when null).
@@ -81,6 +97,12 @@ SimSummary monte_carlo(const SimEngine& engine,
                        util::ThreadPool* pool = nullptr);
 
 /// Convenience: builds the engine and runs.
+SimSummary monte_carlo(const netlist::Netlist& netlist,
+                       const PiStatsTable& pi_stats,
+                       const celllib::Tech& tech,
+                       const MonteCarloOptions& options);
+
+/// Convenience overload over the legacy map boundary.
 SimSummary monte_carlo(
     const netlist::Netlist& netlist,
     const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,

@@ -1,15 +1,27 @@
 #pragma once
-// Reusable switch-level simulation engine (DESIGN.md Sec. 8.1).
+// Reusable switch-level simulation engine (DESIGN.md Sec. 8.1; hot-path
+// architecture Sec. 10).
 //
 // Construction does all the per-netlist work once — net levelization,
 // per-gate H/G path tables, node capacitances, Elmore pin delays, the
-// CTMC rates of every primary-input process. After that the engine is
-// immutable; `run(seed)` executes one independent replication whose
-// mutable state (event queue, net values, accumulators, RNG) is owned by
-// the call, so any number of replications may run concurrently on a
-// thread pool and the result of a replication is a pure function of its
-// seed. Monte-Carlo replication with confidence intervals is layered on
-// top in sim/monte_carlo.hpp.
+// CTMC rates of every primary-input process — and additionally flattens
+// everything the event loop touches into structure-of-arrays tables:
+// single-word truth tables, CSR fanout arcs with per-arc delays,
+// per-node transition energies. After that the engine is immutable;
+// `run(seed)` executes one independent replication whose mutable state
+// lives in a ReplicationScratch (byte-valued net state, one contiguous
+// internal-node arena, the indexed event scheduler), so any number of
+// replications may run concurrently on a thread pool, the result of a
+// replication is a pure function of its seed, and a scratch reused
+// across replications makes steady-state replication allocation-free.
+//
+// The pre-rewrite event loop (std::priority_queue of padded events,
+// std::vector<bool> state, per-gate node vectors) is retained verbatim
+// as `run_reference`: it is the differential oracle the rewritten hot
+// path is pinned bit-identical against (tests/test_sim_differential.cpp)
+// and the baseline the BENCH_sim speedup ratio is measured from.
+// Monte-Carlo replication with confidence intervals is layered on top in
+// sim/monte_carlo.hpp.
 
 #include <cstdint>
 #include <map>
@@ -19,33 +31,98 @@
 #include "boolfn/truth_table.hpp"
 #include "celllib/tech.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/event_scheduler.hpp"
 #include "sim/switch_sim.hpp"
 
 namespace tr::sim {
+
+/// Reusable per-replication state: flat byte/word arenas for every piece
+/// of mutable simulation state plus the event scheduler. A scratch is
+/// owned by exactly one thread at a time (monte_carlo hands each worker
+/// its own and reuses it across that worker's replications); reuse keeps
+/// every arena's capacity, so replications after warmup allocate nothing
+/// (DESIGN.md Sec. 10.2). Default-constructed scratches adapt to any
+/// engine. Members are an implementation detail of SimEngine — public
+/// only because the hot-path runner lives in sim_engine.cpp.
+struct ReplicationScratch {
+  /// Mutable per-gate state, one cache-line-friendly record per gate.
+  struct GateMut {
+    std::uint64_t input_minterm = 0;
+    std::uint64_t pending_seq = 0;  ///< seq of the valid pending commit
+    std::uint8_t pending_flag = 0;
+    std::uint8_t pending_value = 0;
+  };
+
+  /// Per-net observation accumulators, one record per net so a net
+  /// change touches one cache line. Net *values* stay in their own dense
+  /// byte array (not in this record, and not std::vector<bool>): the
+  /// event loop reads values far more often than it records changes, and
+  /// the byte array keeps that working set L1-sized.
+  struct NetObs {
+    double last_change = 0.0;
+    double ones_time = 0.0;
+    std::uint64_t transitions = 0;
+  };
+
+  std::vector<std::uint8_t> net_value;       ///< per net (byte, not bit)
+  std::vector<NetObs> net_obs;               ///< per net
+  std::vector<GateMut> gate_mut;             ///< per gate
+  std::vector<std::uint8_t> internal_state;  ///< node arena, CSR by gate
+  EventScheduler scheduler;
+
+  /// Bytes of owned storage (capacities, not sizes) — the high-water
+  /// figure surfaced as SimResult::scratch_bytes.
+  std::size_t high_water_bytes() const noexcept;
+};
 
 class SimEngine {
 public:
   /// Validates the netlist and options and precomputes all simulation
   /// tables. `pi_stats` must cover every primary input; the netlist,
-  /// tech and library must outlive the engine.
+  /// tech and library must outlive the engine (the statistics are
+  /// copied, so `pi_stats` need not).
+  SimEngine(const netlist::Netlist& netlist, const PiStatsTable& pi_stats,
+            const celllib::Tech& tech, const SimOptions& options);
+
+  /// Convenience overload over the legacy map boundary.
   SimEngine(const netlist::Netlist& netlist,
             const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
             const celllib::Tech& tech, const SimOptions& options);
 
   /// One independent replication driven by `seed`. Thread-safe and
   /// deterministic: the engine is immutable after construction and every
-  /// run owns its mutable state, so the result depends only on `seed`
-  /// (never on which thread runs it or on concurrent runs).
+  /// run owns its mutable state, so every SimResult field except the
+  /// wall-clock diagnostics depends only on `seed` (never on which
+  /// thread runs it or on concurrent runs).
   SimResult run(std::uint64_t seed) const;
+
+  /// Same, reusing a caller-owned scratch across calls (the scratch must
+  /// not be shared between concurrent runs).
+  SimResult run(std::uint64_t seed, ReplicationScratch& scratch) const;
+
+  /// Zero-allocation steady state: reuses both the scratch and the
+  /// result's vectors. `result` may be default-constructed; every field
+  /// is (re)written.
+  void run(std::uint64_t seed, ReplicationScratch& scratch,
+           SimResult& result) const;
 
   /// Replication with the options' own seed (the classic simulate()).
   SimResult run() const { return run(options_.seed); }
+
+  /// The retained pre-rewrite event loop — the differential oracle.
+  /// Bit-identical to run(seed) in every non-diagnostic SimResult field.
+  SimResult run_reference(std::uint64_t seed) const;
+
+  /// False when the circuit exceeds the packed-event encoding (a gate
+  /// wider than 6 inputs, more than 2^16 levels); run(seed) then
+  /// executes the reference loop, preserving results at reference speed.
+  bool fast_path_available() const noexcept { return fast_ok_; }
 
   const SimOptions& options() const noexcept { return options_; }
   const netlist::Netlist& netlist() const noexcept { return netlist_; }
 
 private:
-  /// Immutable per-gate simulation tables.
+  /// Immutable per-gate simulation tables (reference loop).
   struct GateTables {
     boolfn::TruthTable output_fn{0};
     std::vector<boolfn::TruthTable> h_fns;  ///< per internal node
@@ -62,12 +139,15 @@ private:
     double rate_down = 0.0;  ///< 1 -> 0 rate
     double load_cap = 0.0;   ///< wire + fanout pin capacitance [F]
     double prob = 0.0;       ///< equilibrium P(1), initial-state draw
+    double energy = 0.0;     ///< energy_per_transition(load_cap) [J]
   };
 
-  struct Replication;  // the per-run mutable state (sim_engine.cpp)
+  struct Replication;  // reference-loop mutable state (sim_engine.cpp)
+  struct FastRun;      // hot-path runner (sim_engine.cpp)
 
   void build_gates();
-  void build_pis(const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats);
+  void build_pis(const PiStatsTable& pi_stats);
+  void build_flat();
 
   const netlist::Netlist& netlist_;
   const celllib::Tech& tech_;
@@ -77,6 +157,39 @@ private:
   std::vector<PiProcess> pi_;               ///< indexed by NetId
   std::vector<netlist::NetId> pi_order_;    ///< PIs in RNG draw order
   std::vector<netlist::GateId> topo_order_;
+
+  // Hot-path tables (DESIGN.md Sec. 10.2): flat cache-line-oriented
+  // images of gates_ / the netlist, sized so the event loop reads
+  // nothing but these arrays. Truth tables are single 64-bit words
+  // (<= 6 input pins).
+  struct GateHot {
+    std::uint64_t out_fn = 0;       ///< output function, minterm-indexed
+    std::uint64_t level_order = 0;  ///< net level << EventScheduler::seq_bits
+    std::uint32_t node_begin = 0;   ///< internal-node arena range
+    std::uint32_t node_end = 0;
+    std::int32_t out_net = -1;
+    double out_energy = 0.0;  ///< J per output transition
+  };
+  struct NodeHot {
+    std::uint64_t h_fn = 0;  ///< charge (pull-up path) function
+    std::uint64_t g_fn = 0;  ///< discharge (pull-down path) function
+    double energy = 0.0;     ///< J per node transition
+  };
+  struct Arc {
+    double delay = 0.0;            ///< Elmore pin delay of (gate, pin) [s]
+    std::uint32_t gate_pin = 0;    ///< gate << 3 | pin
+  };
+
+  bool fast_ok_ = false;
+  std::vector<GateHot> flat_gate_;           ///< per gate
+  std::vector<NodeHot> flat_node_;           ///< per node (CSR via GateHot)
+  std::vector<std::uint32_t> flat_in_off_;   ///< [gates+1] input CSR
+  std::vector<std::int32_t> flat_in_net_;    ///< per input pin
+  std::vector<std::uint32_t> flat_arc_off_;  ///< [nets+1] fanout CSR
+  std::vector<Arc> flat_arc_;                ///< per arc
+  double pi_rate_sum_ = 0.0;  ///< total equilibrium PI toggle rate [1/s]
+  int scheduler_buckets_ = 0; ///< calendar size; 0 = pure heap
+  double scheduler_width_ = 0.0;
 };
 
 }  // namespace tr::sim

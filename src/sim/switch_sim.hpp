@@ -3,12 +3,14 @@
 // the SLS simulator the paper uses to validate the model (Table 3,
 // column S; substitution documented in DESIGN.md Sec. 4.2).
 //
-// This header holds the options/result types and the single-replication
-// entry point. The event loop itself lives in sim/sim_engine.hpp
-// (`SimEngine`), which precomputes the per-netlist tables once and can
-// run any number of independent replications; sim/monte_carlo.hpp runs
-// replicated parallel simulations with confidence intervals on top of it
-// (DESIGN.md Sec. 8).
+// This header holds the options/result types, the flat primary-input
+// statistics table and the single-replication entry point. The event
+// loop itself lives in sim/sim_engine.hpp (`SimEngine`), which
+// precomputes the per-netlist tables once and can run any number of
+// independent replications; sim/monte_carlo.hpp runs replicated parallel
+// simulations with confidence intervals on top of it (DESIGN.md Sec. 8;
+// the hot-path architecture — scheduler, arenas, scratch reuse — is
+// Sec. 10).
 //
 // Semantics:
 //  * Primary inputs are continuous-time 0-1 Markov processes: holding
@@ -38,6 +40,14 @@
 
 namespace tr::sim {
 
+/// Event-scheduler selection (DESIGN.md Sec. 10.1). `automatic` picks
+/// the bucketed calendar whenever the circuit fits its packed event
+/// encoding and the input processes give it a usable time grid, and the
+/// compact binary heap otherwise; the explicit values pin one lane for
+/// differential tests. The choice never affects results — only wall
+/// time — because both lanes realise the exact (time, level, seq) order.
+enum class SchedulerKind : std::uint8_t { automatic, calendar, heap };
+
 struct SimOptions {
   double warmup_time = 2e-5;   ///< settle time before measuring [s]
   double measure_time = 1e-3;  ///< measurement window [s]
@@ -45,6 +55,36 @@ struct SimOptions {
   bool count_pi_energy = true; ///< include PI-net load switching energy
   bool use_gate_delays = true; ///< false = zero-delay (no glitches)
   std::uint64_t max_events = 200'000'000;  ///< runaway guard
+  SchedulerKind scheduler = SchedulerKind::automatic;
+};
+
+/// Flat NetId-indexed primary-input statistics: the boundary type the
+/// simulation layer consumes (DESIGN.md Sec. 10.3). Built once — from a
+/// legacy std::map or filled directly — and then O(1)-indexed at the
+/// SimEngine / switch_sim / monte_carlo boundaries; every map-taking
+/// entry point is a thin convenience overload over this.
+class PiStatsTable {
+public:
+  PiStatsTable() = default;
+
+  /// An empty table over `net_count` nets (no PI has statistics yet).
+  explicit PiStatsTable(int net_count);
+
+  /// Flattens a NetId-keyed map over a `net_count`-net netlist.
+  PiStatsTable(int net_count,
+               const std::map<netlist::NetId, boolfn::SignalStats>& stats);
+
+  void set(netlist::NetId net, const boolfn::SignalStats& stats);
+
+  /// The statistics recorded for `net`, or nullptr when none were set
+  /// (also for out-of-range ids, so callers can probe safely).
+  const boolfn::SignalStats* find(netlist::NetId net) const noexcept;
+
+  int net_count() const noexcept { return static_cast<int>(stats_.size()); }
+
+private:
+  std::vector<boolfn::SignalStats> stats_;
+  std::vector<std::uint8_t> present_;
 };
 
 /// Time-weighted statistics observed on one net during the window.
@@ -74,9 +114,24 @@ struct SimResult {
   /// The window the statistics are normalised over [s]: `measure_time`
   /// for a complete run, the simulated prefix for a truncated one.
   double measured_time = 0.0;
+
+  // Throughput diagnostics (DESIGN.md Sec. 10.4). Wall-clock figures —
+  // *excluded* from the determinism contract: every field above is a
+  // pure function of the seed, these three depend on the machine.
+  double elapsed_seconds = 0.0;  ///< wall time of this replication [s]
+  double events_per_sec = 0.0;   ///< event_count / elapsed_seconds
+  /// High-water bytes of the replication scratch (state arenas + event
+  /// queue) after this run; 0 for the reference engine, which allocates
+  /// per call instead of using a scratch.
+  std::size_t scratch_bytes = 0;
 };
 
 /// Runs one replication. `pi_stats` must cover every primary input.
+SimResult simulate(const netlist::Netlist& netlist,
+                   const PiStatsTable& pi_stats, const celllib::Tech& tech,
+                   const SimOptions& options);
+
+/// Convenience overload over the legacy map boundary.
 SimResult simulate(const netlist::Netlist& netlist,
                    const std::map<netlist::NetId, boolfn::SignalStats>& pi_stats,
                    const celllib::Tech& tech, const SimOptions& options);

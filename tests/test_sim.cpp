@@ -277,7 +277,8 @@ TEST(SwitchSim, ValidatesInputs) {
   const Netlist nl = inverter_chain(1);
   const Tech tech;
   SimOptions opt;
-  EXPECT_THROW(simulate(nl, {}, tech, opt), Error);  // missing PI stats
+  EXPECT_THROW(simulate(nl, std::map<NetId, SignalStats>{}, tech, opt),
+               Error);  // missing PI stats
   opt.measure_time = 0.0;
   const NetId a = nl.find_net("a");
   EXPECT_THROW(simulate(nl, {{a, SignalStats{0.5, 1e5}}}, tech, opt), Error);

@@ -21,59 +21,12 @@ namespace tr::sim {
 namespace {
 
 using boolfn::SignalStats;
-using celllib::Cell;
 using celllib::CellLibrary;
 using celllib::Tech;
-using gategraph::SpNode;
 using netlist::NetId;
 using netlist::Netlist;
-
-/// A library of random series-parallel cells with 2..5 inputs each.
-CellLibrary random_sp_library(Rng& rng, int cell_count) {
-  CellLibrary lib;
-  for (int c = 0; c < cell_count; ++c) {
-    const int n = 2 + static_cast<int>(rng.next_below(4));
-    std::vector<int> inputs;
-    std::vector<std::string> pins;
-    for (int i = 0; i < n; ++i) {
-      inputs.push_back(i);
-      pins.push_back("p" + std::to_string(i));
-    }
-    lib.add(Cell("sp" + std::to_string(c), std::move(pins),
-                 testutil::random_sp_tree(std::move(inputs), rng)));
-  }
-  return lib;
-}
-
-/// A small multilevel netlist over the random cells: every gate draws
-/// distinct input nets from the pool of PIs and earlier outputs.
-Netlist random_sp_netlist(const CellLibrary& lib, Rng& rng, int gates) {
-  Netlist nl(lib, "sp_rand");
-  std::vector<NetId> pool;
-  for (int i = 0; i < 6; ++i) {
-    const NetId id = nl.add_net("x" + std::to_string(i));
-    nl.mark_primary_input(id);
-    pool.push_back(id);
-  }
-  const std::vector<std::string> cells = lib.cell_names();
-  for (int g = 0; g < gates; ++g) {
-    const std::string& cell =
-        cells[rng.next_below(static_cast<std::uint64_t>(cells.size()))];
-    const int arity = lib.cell(cell).input_count();
-    rng.shuffle(pool.begin(), pool.end());
-    std::vector<NetId> inputs(pool.begin(), pool.begin() + arity);
-    const NetId out = nl.add_net("t" + std::to_string(g));
-    nl.add_gate("g" + std::to_string(g), cell, std::move(inputs), out);
-    pool.push_back(out);
-  }
-  for (NetId id = 0; id < nl.net_count(); ++id) {
-    if (nl.net(id).fanouts.empty() && !nl.net(id).is_primary_input) {
-      nl.mark_primary_output(id);
-    }
-  }
-  nl.validate();
-  return nl;
-}
+using testutil::random_sp_library;
+using testutil::random_sp_netlist;
 
 std::map<NetId, SignalStats> random_pi_stats(const Netlist& nl, Rng& rng) {
   std::map<NetId, SignalStats> stats;
