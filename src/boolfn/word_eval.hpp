@@ -1,0 +1,92 @@
+#pragma once
+// Word-parallel evaluation of single-word truth tables (DESIGN.md
+// Sec. 11.2).
+//
+// The simulation hot path stores every gate function as one 64-bit
+// minterm-indexed word (<= 6 input pins, see SimEngine::build_flat). The
+// bit-parallel simulation lane (sim/bitsim.hpp) keeps 64 independent
+// replication values per signal in one uint64_t, so it needs to evaluate
+// such a table at 64 *different* minterms at once: lane k's minterm is
+// assembled from bit k of each input-pin word. eval_lanes() does that
+// with a Shannon mux tree over the pin words — 3 word ops per cofactor
+// merge, 3 * (2^n - 1) ops worst case for n variables, with constant and
+// vacuous-variable subtrees folded on the fly.
+//
+// word_support()/word_compact() shrink a table onto its true support
+// before evaluation (construction-time only), mirroring
+// TruthTable::support()/compacted() on the raw word representation.
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace tr::boolfn {
+
+/// All-minterms mask of an n-variable single-word table (0 <= n <= 6).
+constexpr std::uint64_t word_full_mask(int n) noexcept {
+  return n >= 6 ? ~std::uint64_t{0}
+                : (std::uint64_t{1} << (std::uint64_t{1} << n)) - 1;
+}
+
+/// Evaluates `fn` (an n-variable single-word table, n <= 6) at the 64
+/// lane minterms encoded across the pin words: bit k of pins[j] is the
+/// value of variable j in lane k. Returns one word with bit k = fn(lane
+/// k's minterm). Constant tables short-circuit, so subtrees that do not
+/// depend on their top variable cost nothing.
+inline std::uint64_t eval_lanes(std::uint64_t fn, const std::uint64_t* pins,
+                                int n) noexcept {
+  if (fn == 0) return 0;
+  if (fn == word_full_mask(n)) return ~std::uint64_t{0};
+  // Not constant, so n >= 1: Shannon-expand on the top variable.
+  TR_ASSERT(n >= 1 && n <= 6);
+  const std::uint64_t mask = word_full_mask(n - 1);
+  const std::uint64_t lo = fn & mask;
+  const std::uint64_t hi = (fn >> (1 << (n - 1))) & mask;
+  if (lo == hi) return eval_lanes(lo, pins, n - 1);
+  const std::uint64_t p = pins[n - 1];
+  return (p & eval_lanes(hi, pins, n - 1)) |
+         (~p & eval_lanes(lo, pins, n - 1));
+}
+
+/// Bitmask of the variables `fn` actually depends on (bit j set when
+/// some pair of minterms differing only in variable j maps to different
+/// values). Construction-time helper; O(n * 2^n) bit probes.
+inline std::uint32_t word_support(std::uint64_t fn, int n) noexcept {
+  TR_ASSERT(n >= 0 && n <= 6);
+  std::uint32_t support = 0;
+  for (int j = 0; j < n; ++j) {
+    const std::uint64_t stride = std::uint64_t{1} << j;
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      if (m & stride) continue;
+      if (((fn >> m) & 1u) != ((fn >> (m | stride)) & 1u)) {
+        support |= std::uint32_t{1} << j;
+        break;
+      }
+    }
+  }
+  return support;
+}
+
+/// Compacts `fn` onto the variables of `support` (a subset mask that
+/// must cover word_support(fn, n)), renumbering them in ascending order
+/// — the word-level mirror of TruthTable::compacted().
+inline std::uint64_t word_compact(std::uint64_t fn, int n,
+                                  std::uint32_t support) noexcept {
+  TR_ASSERT(n >= 0 && n <= 6);
+  int vars[6];
+  int k = 0;
+  for (int j = 0; j < n; ++j) {
+    if ((support >> j) & 1u) vars[k++] = j;
+  }
+  std::uint64_t out = 0;
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << k); ++m) {
+    std::uint64_t full = 0;
+    for (int i = 0; i < k; ++i) {
+      if ((m >> i) & 1u) full |= std::uint64_t{1} << vars[i];
+    }
+    out |= ((fn >> full) & 1u) << m;
+  }
+  return out;
+}
+
+}  // namespace tr::boolfn

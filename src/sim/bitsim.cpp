@@ -1,0 +1,814 @@
+#include "sim/bitsim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "boolfn/word_eval.hpp"
+#include "util/error.hpp"
+
+namespace tr::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// In-bucket order for unit-delay cascade slots: the slot index fixes the
+/// step, so (level, seq) ascending completes the (step, level, seq) order.
+bool entry_before(const BitSimScratch::Entry& a,
+                  const BitSimScratch::Entry& b) noexcept {
+  if (a.level != b.level) return a.level < b.level;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+std::size_t BitSimScratch::high_water_bytes() const noexcept {
+  return (net_value.capacity() + pin_value.capacity() +
+          node_state.capacity() + pending_flag.capacity() +
+          pending_value.capacity() + pending_seq.capacity() +
+          ow_mask.capacity() + ow_round.capacity() +
+          group_mask.capacity() + transitions.capacity() +
+          next_tie.capacity()) *
+             sizeof(std::uint64_t) +
+         (last_change.capacity() + ones_time.capacity() +
+          per_gate_energy.capacity() + per_gate_output_energy.capacity() +
+          next_toggle.capacity()) *
+             sizeof(double) +
+         [this] {
+           std::size_t bytes = cascade_slot.capacity() *
+                               sizeof(std::vector<Entry>);
+           for (const auto& bucket : cascade_slot) {
+             bytes += bucket.capacity() * sizeof(Entry);
+           }
+           return bytes;
+         }() +
+         deferred_lane.capacity() * sizeof(int) +
+         scalar_scratch.high_water_bytes();
+}
+
+bool BitSim::supported(const SimEngine& engine) noexcept {
+  if (!engine.fast_path_available()) return false;
+  const DelayModel model = engine.resolved_delay_model();
+  if (model == DelayModel::zero) return true;
+  if (model != DelayModel::unit) return false;
+  // The packed heap orders commits by hop count, which realises the
+  // scalar (time, level, seq) order only while the chain-added per-hop
+  // times strictly increase — i.e. while unit_delay stays above the
+  // floating-point ulp of the simulated window. Below that (a physically
+  // meaningless configuration) the lane falls back to the scalar path.
+  const SimOptions& o = engine.options();
+  return o.unit_delay > 0.0 &&
+         o.unit_delay > (o.warmup_time + o.measure_time) *
+                            std::numeric_limits<double>::epsilon();
+}
+
+BitSim::Prog BitSim::compile(std::uint64_t fn, int gate_vars) {
+  const std::uint32_t support = boolfn::word_support(fn, gate_vars);
+  Prog prog;
+  prog.fn = boolfn::word_compact(fn, gate_vars, support);
+  prog.vars_off = static_cast<std::uint32_t>(prog_vars_.size());
+  for (int j = 0; j < gate_vars; ++j) {
+    if ((support >> j) & 1u) {
+      prog_vars_.push_back(static_cast<std::uint8_t>(j));
+      ++prog.nvars;
+    }
+  }
+  return prog;
+}
+
+std::uint64_t BitSim::eval(const Prog& prog,
+                           const std::uint64_t* pin_words) const noexcept {
+  std::uint64_t w[6];
+  const std::uint8_t* vars = prog_vars_.data() + prog.vars_off;
+  for (int i = 0; i < prog.nvars; ++i) w[i] = pin_words[vars[i]];
+  return boolfn::eval_lanes(prog.fn, w, prog.nvars);
+}
+
+BitSim::BitSim(const SimEngine& engine) : engine_(engine) {
+  require(supported(engine),
+          "bitsim: engine must resolve to the zero- or unit-delay model "
+          "with the simulation fast path available");
+  delta_ = engine.resolved_delay_model() == DelayModel::unit
+               ? engine.options().unit_delay
+               : 0.0;
+
+  const std::size_t gates = engine.flat_gate_.size();
+  gate_.resize(gates);
+  node_.resize(engine.flat_node_.size());
+  std::uint32_t max_level = 0;
+  for (std::size_t gi = 0; gi < gates; ++gi) {
+    const auto& hot = engine.flat_gate_[gi];
+    GateRec& rec = gate_[gi];
+    const int vars = static_cast<int>(engine.flat_in_off_[gi + 1] -
+                                      engine.flat_in_off_[gi]);
+    rec.pin_off = engine.flat_in_off_[gi];
+    rec.node_begin = hot.node_begin;
+    rec.node_end = hot.node_end;
+    rec.level =
+        static_cast<std::uint32_t>(hot.level_order >> EventScheduler::seq_bits);
+    max_level = std::max(max_level, rec.level);
+    rec.out_net = hot.out_net;
+    rec.out_energy = hot.out_energy;
+    rec.out = compile(hot.out_fn, vars);
+    for (std::uint32_t j = hot.node_begin; j < hot.node_end; ++j) {
+      node_[j].h = compile(engine.flat_node_[j].h_fn, vars);
+      node_[j].g = compile(engine.flat_node_[j].g_fn, vars);
+      node_[j].energy = engine.flat_node_[j].energy;
+    }
+  }
+  // A cascade reaches hop m only along an m-edge path from the toggled
+  // PI, so one toggle's commits all land within max_level * delta of the
+  // toggle; the 2x + 2 margin absorbs the floating-point rounding of the
+  // chain-added per-hop times. Deferring a lane whose next toggle falls
+  // inside this horizon may over-defer slightly — deferral is exact
+  // either way — but can never under-defer.
+  span_guard_ = 2.0 * delta_ * static_cast<double>(max_level + 2);
+  // Cascade calendar bound: hop steps never exceed max_level + 1 (hop m
+  // only reaches gates of level >= m), and zero-delay slots are levels.
+  slot_count_ = max_level + 2;
+
+  const std::size_t nets =
+      static_cast<std::size_t>(engine.netlist_.net_count());
+  arc_off_.assign(engine.flat_arc_off_.begin(), engine.flat_arc_off_.end());
+  arc_.resize(engine.flat_arc_.size());
+  for (std::size_t a = 0; a < arc_.size(); ++a) {
+    arc_[a].gate = engine.flat_arc_[a].gate_pin >> 3;
+    arc_[a].pin = engine.flat_arc_[a].gate_pin & 7u;
+  }
+  TR_ASSERT(arc_off_.size() == nets + 1);
+
+  pi_.reserve(engine.pi_order_.size());
+  for (netlist::NetId id : engine.pi_order_) {
+    const auto& p = engine.pi_[static_cast<std::size_t>(id)];
+    pi_.push_back({id, p.rate_up, p.rate_down, p.prob, p.energy});
+  }
+  topo_ = engine.topo_order_;
+}
+
+/// The packed event loop. Mirrors SimEngine::FastRun per lane: identical
+/// RNG draw order, identical event pop order, identical floating-point
+/// accumulation order — pinned by tests/test_bitsim_differential.cpp.
+struct BitSim::Runner {
+  const BitSim& b;
+  BitSimScratch& s;
+  const double warmup;
+  const double t_end;
+  const std::uint64_t max_events;
+  const std::uint32_t step_inc;  ///< 1 under unit delay, 0 under zero
+  std::uint64_t round_seq = 0;
+  std::uint64_t live = ~std::uint64_t{0};    ///< lanes still simulating
+  std::uint64_t cascade_live = 0;            ///< this round's survivors
+
+  /// Per-round warmup masks over this round's participants: bit k set
+  /// when lane k's toggle time is past warmup (strictly, for
+  /// observation; inclusively, for energy). Valid wherever the commit
+  /// time equals the toggle time — everywhere under zero delay, and in
+  /// round stage 2 under both models.
+  std::uint64_t obs_mask = 0;
+  std::uint64_t en_mask = 0;
+
+  /// Round counter stamping BitSimScratch::ow_round (starts at 1 so the
+  /// zero-initialised stamps never match).
+  std::uint64_t round_id = 0;
+  std::uint64_t round_participants = 0;
+
+  // Bit-sliced per-lane pop counters for the zero-delay drain: plane i
+  // holds bit i of each lane's pop count this round, rippled per pop and
+  // folded into event_count at round end. The word-level fast path is
+  // only safe while no lane can reach max_events mid-round; `headroom`
+  // (the smallest per-participant budget left after the toggle) bounds
+  // how many pops that takes, and crossing it flushes the planes and
+  // drops to the exact per-lane path for the rest of the round.
+  static constexpr int kEvPlanes = 24;
+  std::array<std::uint64_t, kEvPlanes> ev_planes{};
+  int planes_hi = 0;
+  std::uint64_t headroom = 0;
+  std::uint64_t round_pops = 0;
+  bool exact_counts = false;
+
+  /// Adds one pop of `mask` to the bit-sliced counters (ripple carry).
+  void count_pops(std::uint64_t mask) {
+    std::uint64_t carry = mask;
+    int i = 0;
+    while (carry) {
+      TR_ASSERT(i < kEvPlanes);
+      const std::uint64_t t = ev_planes[i] & carry;
+      ev_planes[i] ^= carry;
+      carry = t;
+      ++i;
+    }
+    if (i > planes_hi) planes_hi = i;
+  }
+
+  /// Folds the bit-sliced pop counters into event_count and clears them.
+  void flush_event_planes() {
+    for (std::uint64_t m = round_participants; m; m &= m - 1) {
+      const int k = std::countr_zero(m);
+      std::uint64_t c = 0;
+      for (int i = 0; i < planes_hi; ++i) {
+        c |= ((ev_planes[i] >> k) & 1u) << i;
+      }
+      s.event_count[static_cast<std::size_t>(k)] += c;
+    }
+    for (int i = 0; i < planes_hi; ++i) ev_planes[static_cast<std::size_t>(i)] = 0;
+    planes_hi = 0;
+  }
+
+  Runner(const BitSim& bitsim, BitSimScratch& scratch)
+      : b(bitsim),
+        s(scratch),
+        warmup(bitsim.engine_.options_.warmup_time),
+        t_end(bitsim.engine_.options_.warmup_time +
+              bitsim.engine_.options_.measure_time),
+        max_events(bitsim.engine_.options_.max_events),
+        step_inc(bitsim.delta_ > 0.0 ? 1u : 0u) {}
+
+  void initialize(const std::uint64_t* lane_seeds) {
+    const std::size_t nets =
+        static_cast<std::size_t>(b.engine_.netlist_.net_count());
+    const std::size_t gates = b.gate_.size();
+    const std::size_t pis = b.pi_.size();
+    s.net_value.assign(nets, 0);
+    s.pin_value.assign(b.engine_.flat_in_off_.back(), 0);
+    s.node_state.assign(b.node_.size(), 0);
+    s.pending_flag.assign(gates, 0);
+    s.pending_value.assign(gates, 0);
+    s.pending_seq.assign(gates * 64, 0);
+    s.ow_mask.assign(gates, 0);
+    s.ow_round.assign(gates, 0);
+    s.group_mask.assign(pis, 0);
+    s.last_change.assign(nets * 64, 0.0);
+    s.ones_time.assign(nets * 64, 0.0);
+    s.transitions.assign(nets * 64, 0);
+    s.per_gate_energy.assign(gates * 64, 0.0);
+    s.per_gate_output_energy.assign(gates * 64, 0.0);
+    s.next_toggle.assign(std::size_t{64} * pis, kInf);
+    s.next_tie.assign(std::size_t{64} * pis, 0);
+    s.cascade_slot.resize(b.slot_count_);
+    for (auto& bucket : s.cascade_slot) bucket.clear();
+    s.deferred_lane.clear();
+    s.deferred_result.resize(0);
+    s.truncated_mask = 0;
+    s.deferred_mask = 0;
+    for (int k = 0; k < 64; ++k) {
+      s.seeds[static_cast<std::size_t>(k)] = lane_seeds[k];
+      s.rng[static_cast<std::size_t>(k)].reseed(lane_seeds[k]);
+      s.energy[static_cast<std::size_t>(k)] = 0.0;
+      s.output_node_energy[static_cast<std::size_t>(k)] = 0.0;
+      s.internal_node_energy[static_cast<std::size_t>(k)] = 0.0;
+      s.pi_energy[static_cast<std::size_t>(k)] = 0.0;
+      s.last_event_time[static_cast<std::size_t>(k)] = 0.0;
+      s.t_final[static_cast<std::size_t>(k)] = t_end;
+      s.cur_time[static_cast<std::size_t>(k)] = 0.0;
+      s.toggle_time[static_cast<std::size_t>(k)] = 0.0;
+      s.event_count[static_cast<std::size_t>(k)] = 0;
+      s.tie_counter[static_cast<std::size_t>(k)] = 0;
+      s.cur_step[static_cast<std::size_t>(k)] = 0;
+      s.toggle_pi[static_cast<std::size_t>(k)] = -1;
+    }
+
+    // Per-lane initial draws in the scalar loops' exact stream order:
+    // equilibrium bernoullis in pi_order, then the first toggle times
+    // (the steady-state evaluation between them draws nothing).
+    for (int k = 0; k < 64; ++k) {
+      Rng& rng = s.rng[static_cast<std::size_t>(k)];
+      const std::uint64_t bit = std::uint64_t{1} << k;
+      for (std::size_t i = 0; i < pis; ++i) {
+        if (rng.bernoulli(b.pi_[i].prob)) {
+          s.net_value[static_cast<std::size_t>(b.pi_[i].net)] |= bit;
+        }
+      }
+      for (std::size_t i = 0; i < pis; ++i) {
+        const PiRec& p = b.pi_[i];
+        const bool v =
+            ((s.net_value[static_cast<std::size_t>(p.net)] >> k) & 1u) != 0;
+        const double rate = v ? p.rate_down : p.rate_up;
+        if (rate <= 0.0) continue;  // frozen input
+        s.next_toggle[static_cast<std::size_t>(k) * pis + i] =
+            rng.exponential(rate);
+        s.next_tie[static_cast<std::size_t>(k) * pis + i] =
+            s.tie_counter[static_cast<std::size_t>(k)]++;
+      }
+    }
+
+    // Steady-state logic values for all lanes at once.
+    for (netlist::GateId g : b.topo_) {
+      const GateRec& rec = b.gate_[static_cast<std::size_t>(g)];
+      std::uint64_t* pins = s.pin_value.data() + rec.pin_off;
+      const std::uint32_t in_begin =
+          b.engine_.flat_in_off_[static_cast<std::size_t>(g)];
+      const std::uint32_t in_end =
+          b.engine_.flat_in_off_[static_cast<std::size_t>(g) + 1];
+      for (std::uint32_t i = in_begin; i < in_end; ++i) {
+        pins[i - in_begin] =
+            s.net_value[static_cast<std::size_t>(b.engine_.flat_in_net_[i])];
+      }
+      s.net_value[static_cast<std::size_t>(rec.out_net)] = b.eval(rec.out, pins);
+      for (std::uint32_t j = rec.node_begin; j < rec.node_end; ++j) {
+        s.node_state[j] = b.eval(b.node_[j].h, pins);
+      }
+    }
+  }
+
+  /// Scalar record_net_change for one lane: must run before the value
+  /// flip (ones_time integrates the pre-flip value).
+  void record_change(std::size_t net, int k, double now) {
+    const std::size_t idx = net * 64 + static_cast<std::size_t>(k);
+    if (now > warmup) {
+      const double from =
+          s.last_change[idx] > warmup ? s.last_change[idx] : warmup;
+      if ((s.net_value[net] >> k) & 1u) s.ones_time[idx] += now - from;
+      ++s.transitions[idx];
+    }
+    s.last_change[idx] = now;
+  }
+
+  /// One fanout arc visit for the lanes in `arrived`: flip the packed
+  /// pin word, settle internal stack nodes, make the inertial output
+  /// decision, schedule commits at `sched_step`.
+  void visit(std::uint32_t gi, std::uint32_t pin, std::uint64_t arrived,
+             std::uint32_t sched_step) {
+    const GateRec& rec = b.gate_[gi];
+    std::uint64_t* pins = s.pin_value.data() + rec.pin_off;
+    pins[pin] ^= arrived;
+    for (std::uint32_t j = rec.node_begin; j < rec.node_end; ++j) {
+      const NodeRec& node = b.node_[j];
+      const std::uint64_t h = b.eval(node.h, pins);
+      const std::uint64_t gq = b.eval(node.g, pins);
+      TR_ASSERT((h & gq) == 0);  // no rail-to-rail short in any lane
+      const std::uint64_t next = h | (s.node_state[j] & ~gq);
+      // Lanes outside `arrived` saw no pin change, and the update is
+      // idempotent, so they are already at their fixed point; the mask
+      // is belt and braces.
+      TR_ASSERT(((next ^ s.node_state[j]) & ~arrived) == 0);
+      const std::uint64_t changed = (next ^ s.node_state[j]) & arrived;
+      if (changed) {
+        s.node_state[j] ^= changed;
+        const double en = node.energy;
+        // Under zero delay cur_time is the toggle time for the whole
+        // round, so the warmup compare is the per-round energy mask.
+        std::uint64_t warm = changed & en_mask;
+        if (step_inc) {
+          warm = 0;
+          for (std::uint64_t m = changed; m; m &= m - 1) {
+            const int k = std::countr_zero(m);
+            if (s.cur_time[static_cast<std::size_t>(k)] >= warmup) {
+              warm |= std::uint64_t{1} << k;
+            }
+          }
+        }
+        for (std::uint64_t m = warm; m; m &= m - 1) {
+          const std::size_t k =
+              static_cast<std::size_t>(std::countr_zero(m));
+          s.internal_node_energy[k] += en;
+          s.energy[k] += en;
+          s.per_gate_energy[gi * std::size_t{64} + k] += en;
+        }
+      }
+    }
+    // Inertial output decision, all lanes at once: schedule exactly for
+    // the arrived lanes whose steady value differs from their target
+    // (the pending value when a commit is in flight, the net value
+    // otherwise) — the scalar loop's decision tree, whose cancel branch
+    // is unreachable (DESIGN.md Sec. 10.5).
+    const std::uint64_t steady = b.eval(rec.out, pins);
+    const std::uint64_t target =
+        (s.pending_flag[gi] & s.pending_value[gi]) |
+        (~s.pending_flag[gi] &
+         s.net_value[static_cast<std::size_t>(rec.out_net)]);
+    const std::uint64_t sched = (steady ^ target) & arrived;
+    if (!sched) return;
+    const std::uint64_t overwrite = sched & s.pending_flag[gi];
+    if (overwrite) {
+      // Reschedule while a commit is in flight: the stale calendar entry
+      // must lose the pending_seq compare for these lanes.
+      if (s.ow_round[gi] != round_id) {
+        s.ow_round[gi] = round_id;
+        s.ow_mask[gi] = 0;
+      }
+      s.ow_mask[gi] |= overwrite;
+    }
+    s.pending_flag[gi] |= sched;
+    s.pending_value[gi] = (s.pending_value[gi] & ~sched) | (steady & sched);
+    const std::uint64_t seq = round_seq++;
+    for (std::uint64_t m = sched; m; m &= m - 1) {
+      s.pending_seq[gi * std::size_t{64} +
+                    static_cast<std::size_t>(std::countr_zero(m))] = seq;
+    }
+    const std::uint32_t slot = step_inc ? sched_step : rec.level;
+    s.cascade_slot[slot].push_back({sched_step, rec.level, seq, gi, sched});
+  }
+
+  /// Round stage 1: per live lane, pick the earliest pending toggle,
+  /// apply the scalar loop's window/budget exits, redraw the next toggle
+  /// and either defer the lane or enrol it in its PI's toggle group.
+  /// Returns the participant mask.
+  std::uint64_t stage_toggles() {
+    const std::size_t pis = b.pi_.size();
+    std::uint64_t participants = 0;
+    obs_mask = 0;
+    en_mask = 0;
+    ++round_id;
+    std::uint64_t max_count = 0;
+    for (std::uint64_t lanes = live; lanes; lanes &= lanes - 1) {
+      const int k = std::countr_zero(lanes);
+      const std::size_t lane = static_cast<std::size_t>(k);
+      const std::uint64_t bit = std::uint64_t{1} << k;
+      // Earliest pending toggle: (time, push order) min — the scalar
+      // scheduler's (time, level=0, seq) order restricted to this lane.
+      const double* nt = s.next_toggle.data() + lane * pis;
+      const std::uint64_t* tie = s.next_tie.data() + lane * pis;
+      double tmin = kInf;
+      std::uint64_t best_tie = 0;
+      std::size_t imin = pis;
+      for (std::size_t i = 0; i < pis; ++i) {
+        if (nt[i] < tmin) {
+          tmin = nt[i];
+          best_tie = tie[i];
+          imin = i;
+        } else if (nt[i] == tmin && imin != pis && tie[i] < best_tie) {
+          best_tie = tie[i];
+          imin = i;
+        }
+      }
+      if (imin == pis || tmin > t_end) {
+        // Queue empty or next event past the window: the scalar loop
+        // breaks here without popping; t_final stays t_end.
+        live &= ~bit;
+        continue;
+      }
+      if (s.event_count[lane] >= max_events) {
+        s.truncated_mask |= bit;
+        s.t_final[lane] = s.last_event_time[lane];
+        live &= ~bit;
+        continue;
+      }
+      // Pop the toggle and redraw immediately. The scalar loop draws at
+      // the end of the toggle handler and nothing in between draws, so
+      // the stream position is identical; the reschedule rate is keyed
+      // by the post-flip value (here: the inverse of the current bit).
+      const PiRec& p = b.pi_[imin];
+      const std::size_t pnet = static_cast<std::size_t>(p.net);
+      const bool post = ((s.net_value[pnet] >> k) & 1u) == 0;
+      const double rate = post ? p.rate_down : p.rate_up;
+      if (rate > 0.0) {
+        s.next_toggle[lane * pis + imin] =
+            tmin + s.rng[lane].exponential(rate);
+        s.next_tie[lane * pis + imin] = s.tie_counter[lane]++;
+      } else {
+        s.next_toggle[lane * pis + imin] = kInf;
+      }
+      double tnext = kInf;
+      for (std::size_t i = 0; i < pis; ++i) tnext = std::min(tnext, nt[i]);
+      if (tnext <= tmin + b.span_guard_) {
+        // The lane's next toggle lands inside this toggle's cascade
+        // horizon, which round-wise packing cannot interleave. Nothing
+        // of the lane's state has mutated yet, so hand the whole lane
+        // to the scalar fast path (exact, just not packed).
+        s.deferred_mask |= bit;
+        live &= ~bit;
+        continue;
+      }
+      s.toggle_pi[lane] = static_cast<std::int32_t>(imin);
+      if (tmin > warmup) obs_mask |= bit;
+      if (tmin >= warmup) en_mask |= bit;
+      s.toggle_time[lane] = tmin;
+      s.cur_time[lane] = tmin;
+      s.cur_step[lane] = 0;
+      ++s.event_count[lane];
+      if (s.event_count[lane] > max_count) max_count = s.event_count[lane];
+      s.last_event_time[lane] = tmin;
+      s.group_mask[imin] |= bit;
+      participants |= bit;
+    }
+    cascade_live = participants;
+    round_participants = participants;
+    headroom = max_events - max_count;  // every participant is < max_events
+    return participants;
+  }
+
+  /// Round stage 2: apply each PI's toggle group — shared word flip and
+  /// fanout visits, per-lane observation/energy accounting — in
+  /// ascending PI order.
+  void process_groups() {
+    const std::size_t pis = b.pi_.size();
+    for (std::size_t i = 0; i < pis; ++i) {
+      const std::uint64_t group = s.group_mask[i];
+      if (!group) continue;
+      s.group_mask[i] = 0;
+      const PiRec& p = b.pi_[i];
+      const std::size_t net = static_cast<std::size_t>(p.net);
+      for (std::uint64_t m = group; m; m &= m - 1) {
+        const int k = std::countr_zero(m);
+        record_change(net, k, s.toggle_time[static_cast<std::size_t>(k)]);
+      }
+      s.net_value[net] ^= group;
+      if (b.engine_.options_.count_pi_energy) {
+        const double en = p.energy;
+        for (std::uint64_t m = group & en_mask; m; m &= m - 1) {
+          const std::size_t k =
+              static_cast<std::size_t>(std::countr_zero(m));
+          s.pi_energy[k] += en;
+          s.energy[k] += en;
+        }
+      }
+      const std::uint32_t arc_end = b.arc_off_[net + 1];
+      for (std::uint32_t a = b.arc_off_[net]; a < arc_end; ++a) {
+        visit(b.arc_[a].gate, b.arc_[a].pin, group, step_inc);
+      }
+    }
+  }
+
+  /// Round stage 3: drain the cascade calendar in (step, level, seq)
+  /// order — a forward sweep over the slot buckets; entries scheduled
+  /// while a bucket is processed always land in a later bucket — applying
+  /// each entry's commits per lane exactly like the scalar commit handler
+  /// (window exit, budget, validity, value compare, record, energy,
+  /// propagate).
+  void drain() {
+    if (step_inc) {
+      drain_unit();
+    } else {
+      drain_zero();
+    }
+  }
+
+  /// Unit-delay drain: per-lane hop clocks chain-add `delta` per step
+  /// (the scalar loop's exact floating-point commit-time computation),
+  /// and the window / warmup comparisons are per lane because commit
+  /// times differ within a round.
+  void drain_unit() {
+    for (std::size_t slot = 0; slot < s.cascade_slot.size(); ++slot) {
+      auto& bucket = s.cascade_slot[slot];
+      if (bucket.empty()) continue;
+      std::sort(bucket.begin(), bucket.end(), entry_before);
+      for (std::size_t e = 0; e < bucket.size(); ++e) {
+        const BitSimScratch::Entry en = bucket[e];
+        const std::uint64_t pop_mask = en.mask & cascade_live;
+        if (!pop_mask) continue;
+        const std::uint32_t gi = en.gate;
+        const GateRec& rec = b.gate_[gi];
+        std::uint64_t valid = 0;
+        for (std::uint64_t m = pop_mask; m; m &= m - 1) {
+          const int k = std::countr_zero(m);
+          const std::size_t lane = static_cast<std::size_t>(k);
+          const std::uint64_t bit = std::uint64_t{1} << k;
+          while (s.cur_step[lane] < en.step) {
+            s.cur_time[lane] += b.delta_;
+            ++s.cur_step[lane];
+          }
+          const double now = s.cur_time[lane];
+          if (now > t_end) {
+            // The scalar loop breaks before popping; t_final stays t_end
+            // and the lane's remaining entries are all at or after `now`.
+            live &= ~bit;
+            cascade_live &= ~bit;
+            continue;
+          }
+          if (s.event_count[lane] >= max_events) {
+            s.truncated_mask |= bit;
+            s.t_final[lane] = s.last_event_time[lane];
+            live &= ~bit;
+            cascade_live &= ~bit;
+            continue;
+          }
+          ++s.event_count[lane];  // cancelled commits count too
+          s.last_event_time[lane] = now;
+          if (((s.pending_flag[gi] >> k) & 1u) != 0 &&
+              s.pending_seq[gi * std::size_t{64} + lane] == en.seq) {
+            valid |= bit;
+          }
+        }
+        if (!valid) continue;
+        s.pending_flag[gi] &= ~valid;
+        const std::size_t net = static_cast<std::size_t>(rec.out_net);
+        const std::uint64_t change =
+            (s.pending_value[gi] ^ s.net_value[net]) & valid;
+        if (!change) continue;
+        for (std::uint64_t m = change; m; m &= m - 1) {
+          const int k = std::countr_zero(m);
+          record_change(net, k, s.cur_time[static_cast<std::size_t>(k)]);
+        }
+        s.net_value[net] ^= change;
+        const double en_out = rec.out_energy;
+        for (std::uint64_t m = change; m; m &= m - 1) {
+          const std::size_t k =
+              static_cast<std::size_t>(std::countr_zero(m));
+          if (s.cur_time[k] >= warmup) {
+            s.output_node_energy[k] += en_out;
+            s.energy[k] += en_out;
+            s.per_gate_energy[gi * std::size_t{64} + k] += en_out;
+            s.per_gate_output_energy[gi * std::size_t{64} + k] += en_out;
+          }
+        }
+        const std::uint32_t next_step = en.step + 1;
+        const std::uint32_t arc_end = b.arc_off_[net + 1];
+        for (std::uint32_t a = b.arc_off_[net]; a < arc_end; ++a) {
+          visit(b.arc_[a].gate, b.arc_[a].pin, change, next_step);
+        }
+      }
+      bucket.clear();
+    }
+  }
+
+  /// Zero-delay drain: every cascade event of lane k in this round
+  /// happens at toggle_time[k] (delta = 0), so the per-lane hop clock is
+  /// constant, the window check is decided once in stage_toggles
+  /// (toggle_time <= t_end, so the scalar loop never breaks mid-cascade),
+  /// last_event_time is already toggle_time, and the warmup comparisons
+  /// collapse into the per-round obs/energy lane masks. Buckets are
+  /// indexed by level and appended in seq order, so no in-bucket sort.
+  ///
+  /// Event counting and commit validity are word-level on the fast path:
+  /// pops ripple into the bit-sliced counters while no lane can reach
+  /// max_events this round (round_pops <= headroom guarantees it), and a
+  /// popped entry's flagged lanes are valid without the pending_seq
+  /// compare unless this round overwrote them (all of a gate's entries
+  /// share one level bucket and pop in seq order, so the flag a pop sees
+  /// was set by that entry's own visit or by a later overwrite).
+  void drain_zero() {
+    round_pops = 0;
+    exact_counts = headroom == 0;  // a lane may truncate on its first pop
+    for (std::size_t slot = 0; slot < s.cascade_slot.size(); ++slot) {
+      auto& bucket = s.cascade_slot[slot];
+      if (bucket.empty()) continue;
+      for (std::size_t e = 0; e < bucket.size(); ++e) {
+        const BitSimScratch::Entry en = bucket[e];
+        const std::uint64_t pop_mask = en.mask & cascade_live;
+        if (!pop_mask) continue;
+        const std::uint32_t gi = en.gate;
+        std::uint64_t valid;
+        if (!exact_counts && ++round_pops > headroom) {
+          flush_event_planes();
+          exact_counts = true;
+        }
+        if (!exact_counts) {
+          count_pops(pop_mask);  // cancelled commits count too
+          valid = pop_mask & s.pending_flag[gi];
+          if (valid && s.ow_round[gi] == round_id) {
+            for (std::uint64_t m = valid & s.ow_mask[gi]; m; m &= m - 1) {
+              const int k = std::countr_zero(m);
+              if (s.pending_seq[gi * std::size_t{64} +
+                                static_cast<std::size_t>(k)] != en.seq) {
+                valid &= ~(std::uint64_t{1} << k);
+              }
+            }
+          }
+        } else {
+          valid = pop_mask & s.pending_flag[gi];
+          const std::uint64_t* seq_base =
+              s.pending_seq.data() + gi * std::size_t{64};
+          for (std::uint64_t m = pop_mask; m; m &= m - 1) {
+            const int k = std::countr_zero(m);
+            const std::size_t lane = static_cast<std::size_t>(k);
+            if (s.event_count[lane] >= max_events) {
+              const std::uint64_t bit = std::uint64_t{1} << k;
+              s.truncated_mask |= bit;
+              s.t_final[lane] = s.last_event_time[lane];
+              live &= ~bit;
+              cascade_live &= ~bit;
+              valid &= ~bit;
+              continue;
+            }
+            ++s.event_count[lane];  // cancelled commits count too
+            if (((valid >> k) & 1u) != 0 && seq_base[lane] != en.seq) {
+              valid &= ~(std::uint64_t{1} << k);
+            }
+          }
+        }
+        if (!valid) continue;
+        s.pending_flag[gi] &= ~valid;
+        const GateRec& rec = b.gate_[gi];
+        const std::size_t net = static_cast<std::size_t>(rec.out_net);
+        const std::uint64_t change =
+            (s.pending_value[gi] ^ s.net_value[net]) & valid;
+        if (!change) continue;
+        // One pass over the changed lanes: record (ones integration uses
+        // the pre-flip value bit) and the output energy adds. The warmup
+        // mask tests almost always pass (warmup is a sliver of the
+        // window), so the branches are well predicted.
+        const std::size_t base = net * 64;
+        const std::uint64_t pre = s.net_value[net];
+        const double en_out = rec.out_energy;
+        const std::size_t gbase = gi * std::size_t{64};
+        for (std::uint64_t m = change; m; m &= m - 1) {
+          const std::size_t k =
+              static_cast<std::size_t>(std::countr_zero(m));
+          const std::uint64_t bit = std::uint64_t{1} << k;
+          const double now = s.toggle_time[k];
+          if (obs_mask & bit) {
+            if (pre & bit) {
+              const double lc = s.last_change[base + k];
+              s.ones_time[base + k] += now - (lc > warmup ? lc : warmup);
+            }
+            ++s.transitions[base + k];
+          }
+          s.last_change[base + k] = now;
+          if (en_mask & bit) {
+            s.output_node_energy[k] += en_out;
+            s.energy[k] += en_out;
+            s.per_gate_energy[gbase + k] += en_out;
+            s.per_gate_output_energy[gbase + k] += en_out;
+          }
+        }
+        s.net_value[net] ^= change;
+        const std::uint32_t arc_end = b.arc_off_[net + 1];
+        for (std::uint32_t a = b.arc_off_[net]; a < arc_end; ++a) {
+          visit(b.arc_[a].gate, b.arc_[a].pin, change, 0);
+        }
+      }
+      bucket.clear();
+    }
+    if (!exact_counts) flush_event_planes();
+  }
+
+  void run(const std::uint64_t* lane_seeds) {
+    initialize(lane_seeds);
+    while (live) {
+      if (stage_toggles()) {
+        process_groups();
+        drain();
+      }
+    }
+    // Deferred lanes: one scalar fast-path replication each, same seed —
+    // exact by the PR 5 differential contract.
+    for (std::uint64_t m = s.deferred_mask; m; m &= m - 1) {
+      const int k = std::countr_zero(m);
+      s.deferred_lane.push_back(k);
+      s.deferred_result.emplace_back();
+      b.engine_.run(s.seeds[static_cast<std::size_t>(k)], s.scalar_scratch,
+                    s.deferred_result.back());
+    }
+  }
+};
+
+void BitSim::run(const std::uint64_t* lane_seeds,
+                 BitSimScratch& scratch) const {
+  Runner(*this, scratch).run(lane_seeds);
+}
+
+void BitSim::extract_lane(const BitSimScratch& s, int lane,
+                          SimResult& out) const {
+  TR_ASSERT(lane >= 0 && lane < lane_count);
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  if (s.deferred_mask & bit) {
+    for (std::size_t d = 0; d < s.deferred_lane.size(); ++d) {
+      if (s.deferred_lane[d] == lane) {
+        out = s.deferred_result[d];
+        out.elapsed_seconds = 0.0;
+        out.events_per_sec = 0.0;
+        out.scratch_bytes = s.high_water_bytes();
+        return;
+      }
+    }
+    TR_ASSERT(!"deferred lane without a stored result");
+  }
+  const std::size_t nets =
+      static_cast<std::size_t>(engine_.netlist_.net_count());
+  const std::size_t gates = gate_.size();
+  const std::size_t k = static_cast<std::size_t>(lane);
+  out.energy = s.energy[k];
+  out.output_node_energy = s.output_node_energy[k];
+  out.internal_node_energy = s.internal_node_energy[k];
+  out.pi_energy = s.pi_energy[k];
+  out.event_count = s.event_count[k];
+  out.truncated = (s.truncated_mask & bit) != 0;
+  out.per_gate_energy.resize(gates);
+  out.per_gate_output_energy.resize(gates);
+  for (std::size_t g = 0; g < gates; ++g) {
+    out.per_gate_energy[g] = s.per_gate_energy[g * 64 + k];
+    out.per_gate_output_energy[g] = s.per_gate_output_energy[g * 64 + k];
+  }
+  // Scalar finalize(): close each net's ones integral at the lane's own
+  // final time and normalise over its own (possibly truncated) window.
+  const double start = engine_.options_.warmup_time;
+  const double t_final = s.t_final[k];
+  const double window = std::max(0.0, t_final - start);
+  out.measured_time = window;
+  out.nets.resize(nets);
+  for (std::size_t v = 0; v < nets; ++v) {
+    const std::size_t idx = v * 64 + k;
+    double ones = s.ones_time[idx];
+    if (((s.net_value[v] >> lane) & 1u) != 0 && t_final > start) {
+      const double from =
+          s.last_change[idx] > start ? s.last_change[idx] : start;
+      ones += t_final - from;
+    }
+    out.nets[v].prob = window > 0.0 ? ones / window : 0.0;
+    out.nets[v].density =
+        window > 0.0 ? static_cast<double>(s.transitions[idx]) / window : 0.0;
+  }
+  out.power = window > 0.0 ? out.energy / window : 0.0;
+  out.elapsed_seconds = 0.0;
+  out.events_per_sec = 0.0;
+  out.scratch_bytes = s.high_water_bytes();
+}
+
+SimResult BitSim::extract_lane(const BitSimScratch& scratch, int lane) const {
+  SimResult out;
+  extract_lane(scratch, lane, out);
+  return out;
+}
+
+}  // namespace tr::sim

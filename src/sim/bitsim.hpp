@@ -1,0 +1,213 @@
+#pragma once
+// Bit-parallel Monte-Carlo simulation lane (DESIGN.md Sec. 11).
+//
+// Runs 64 independent replications of one SimEngine at once: every net,
+// gate input pin, internal stack node and pending-commit flag holds a
+// 64-wide uint64_t whose bit k is replication lane k's value. Gates are
+// evaluated for all lanes per visit through the word-parallel Shannon
+// kernel (boolfn/word_eval.hpp) over support-compacted single-word truth
+// tables, and per-lane transition/energy accounting is recovered from
+// the XOR change masks (one bit-scan per changed lane).
+//
+// The lane is exact, not approximate: extract_lane(k) reconstructs a
+// scalar-shaped SimResult that is field-identical to
+// SimEngine::run_reference(lane_seeds[k]) in every non-diagnostic field
+// (tests/test_bitsim_differential.cpp pins all 64 lanes). That works
+// because the packed loop replays, per lane, the exact event sequence of
+// the scalar loop:
+//
+//  * Rounds. Each round advances every active lane by exactly one PI
+//    toggle plus its full cascade. Lanes toggling the *same* PI in a
+//    round share the word flip and the fanout arc visits; lanes toggling
+//    different PIs only share gate-table reads. The per-lane next-toggle
+//    draw happens before any state mutation (the scalar stream position
+//    is the same — nothing draws between a toggle's pop and its
+//    reschedule), so the round can check that the lane's next event
+//    falls strictly after this toggle's cascade horizon.
+//  * Cascades. Within a round, scheduled commits drain from a shared
+//    (step, level, seq) heap — step counts uniform-delay hops from the
+//    toggle, level is the delta-cycle levelization rank, seq a strictly
+//    increasing schedule counter — which realises, for each lane, the
+//    scalar scheduler's exact (time, level, seq) pop order. Per-lane
+//    commit times are chain-added (cur_time += delta per hop), matching
+//    the scalar loop's `now + delay` floating-point computation exactly.
+//  * Deferral. A lane whose next toggle lands inside the cascade horizon
+//    (possible under unit delay, or a zero-gap exponential draw) cannot
+//    be packed round-wise; it is removed from the packed run *before any
+//    of its state mutates* and rerun through the scalar fast path with
+//    the same seed. Still exact, just not packed; deferral is
+//    deterministic in the seeds.
+//
+// Only the zero- and unit-delay models are packable (uniform per-arc
+// delay is what makes the hop count a complete time order); Elmore lanes
+// stay on the PR 5 scalar scheduler. sim/monte_carlo.cpp routes full
+// 64-replicate groups here when the model permits and the results are
+// bit-identical to the scalar route at the SimSummary level.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_engine.hpp"
+#include "sim/switch_sim.hpp"
+#include "util/rng.hpp"
+
+namespace tr::sim {
+
+/// Mutable state of one packed 64-lane run. Owned by exactly one thread
+/// at a time and reusable across runs (arena capacities are kept, so
+/// steady-state packed replication allocates nothing). Members are an
+/// implementation detail of BitSim — public only because the runner
+/// lives in bitsim.cpp and tests inspect the deferral mask.
+struct BitSimScratch {
+  /// Intra-round cascade queue entry: the pending commits of `gate` for
+  /// the lanes in `mask`, ordered by (step, level, seq).
+  struct Entry {
+    std::uint32_t step = 0;   ///< uniform-delay hops from the toggle
+    std::uint32_t level = 0;  ///< levelization rank of the output net
+    std::uint64_t seq = 0;    ///< schedule order, strictly increasing
+    std::uint32_t gate = 0;
+    std::uint64_t mask = 0;   ///< lanes this entry may commit
+  };
+
+  // Packed simulation state: one 64-lane word per entity.
+  std::vector<std::uint64_t> net_value;      ///< per net
+  std::vector<std::uint64_t> pin_value;      ///< per gate input pin (CSR)
+  std::vector<std::uint64_t> node_state;     ///< per internal node
+  std::vector<std::uint64_t> pending_flag;   ///< per gate
+  std::vector<std::uint64_t> pending_value;  ///< per gate
+  std::vector<std::uint64_t> pending_seq;    ///< per gate x lane
+
+  /// Per-gate overwrite tracking, stamped by round: lanes whose pending
+  /// commit was rescheduled while still in flight this round. Under zero
+  /// delay all of a gate's calendar entries share one level bucket and
+  /// pop in seq order, so a popped entry's flagged lanes are always
+  /// current unless overwritten — only overwritten lanes need the
+  /// per-lane pending_seq compare.
+  std::vector<std::uint64_t> ow_mask;        ///< per gate
+  std::vector<std::uint64_t> ow_round;       ///< per gate
+  std::vector<std::uint64_t> group_mask;     ///< per PI round toggle group
+
+  // Per-entity per-lane accounting, indexed [entity * 64 + lane].
+  std::vector<double> last_change;           ///< per net x lane
+  std::vector<double> ones_time;             ///< per net x lane
+  std::vector<std::uint64_t> transitions;    ///< per net x lane
+  std::vector<double> per_gate_energy;       ///< per gate x lane
+  std::vector<double> per_gate_output_energy;
+
+  // Per-lane scalars.
+  std::array<Rng, 64> rng;
+  std::array<double, 64> energy{}, output_node_energy{},
+      internal_node_energy{}, pi_energy{}, last_event_time{}, t_final{},
+      cur_time{}, toggle_time{};
+  std::array<std::uint64_t, 64> event_count{}, tie_counter{}, seeds{};
+  std::array<std::uint32_t, 64> cur_step{};
+  std::array<std::int32_t, 64> toggle_pi{};
+  std::uint64_t truncated_mask = 0;
+  std::uint64_t deferred_mask = 0;
+
+  /// Per-lane pending-toggle calendar, indexed [lane * pi_count + pi]:
+  /// the absolute next toggle time of that PI in that lane (+inf for a
+  /// frozen input) plus its push-order tie-break.
+  std::vector<double> next_toggle;
+  std::vector<std::uint64_t> next_tie;
+
+  /// Intra-round cascade calendar: one bucket per hop step (unit delay)
+  /// or per levelization rank (zero delay). A pop only ever schedules
+  /// into a strictly later bucket, so a forward sweep over the buckets
+  /// realises the global (step, level, seq) order at append cost — no
+  /// global priority queue. Zero-delay buckets are already in pop order
+  /// (same level, seq = append order); unit-delay buckets get one small
+  /// (level, seq) sort before processing.
+  std::vector<std::vector<Entry>> cascade_slot;
+
+  // Deferred lanes: rerun through the scalar fast path at the end of the
+  // packed run; extract_lane serves them from these slots.
+  std::vector<int> deferred_lane;
+  std::vector<SimResult> deferred_result;
+  ReplicationScratch scalar_scratch;
+
+  /// Bytes of owned storage (capacities), the high-water figure surfaced
+  /// as SimResult::scratch_bytes on extraction.
+  std::size_t high_water_bytes() const noexcept;
+};
+
+/// Immutable compiled form of one SimEngine for packed execution. Built
+/// once per engine (support-compacted word tables, flat fanout arcs, PI
+/// process parameters) and shared by any number of concurrent runs, each
+/// owning its BitSimScratch — a packed run is a pure function of its 64
+/// lane seeds.
+class BitSim {
+public:
+  static constexpr int lane_count = 64;
+
+  /// True when `engine` can be packed: the simulation fast path is
+  /// available and the resolved delay model is zero or unit.
+  static bool supported(const SimEngine& engine) noexcept;
+
+  /// Compiles the packed tables. `engine` must satisfy supported() and
+  /// outlive the BitSim.
+  explicit BitSim(const SimEngine& engine);
+
+  /// Runs 64 independent replications at once, lane k driven by
+  /// lane_seeds[k]. Thread-safe across distinct scratches.
+  void run(const std::uint64_t* lane_seeds, BitSimScratch& scratch) const;
+
+  /// Scalar-shaped extraction of one lane from a finished run:
+  /// field-identical to SimEngine::run_reference(lane_seeds[lane]) in
+  /// every non-diagnostic SimResult field. A lane that hit max_events is
+  /// marked truncated individually — other lanes are unaffected.
+  void extract_lane(const BitSimScratch& scratch, int lane,
+                    SimResult& out) const;
+  SimResult extract_lane(const BitSimScratch& scratch, int lane) const;
+
+private:
+  /// Support-compacted single-word function: `nvars` variables mapping
+  /// to the gate pin offsets prog_vars_[vars_off ...], evaluated over
+  /// the packed pin words via boolfn::eval_lanes.
+  struct Prog {
+    std::uint64_t fn = 0;
+    std::uint32_t vars_off = 0;
+    std::uint8_t nvars = 0;
+  };
+  struct NodeRec {
+    Prog h, g;
+    double energy = 0.0;
+  };
+  struct GateRec {
+    Prog out;
+    std::uint32_t pin_off = 0;  ///< pin-word block start (CSR)
+    std::uint32_t node_begin = 0, node_end = 0;
+    std::uint32_t level = 0;
+    std::int32_t out_net = -1;
+    double out_energy = 0.0;
+  };
+  struct ArcRec {
+    std::uint32_t gate = 0;
+    std::uint32_t pin = 0;
+  };
+  struct PiRec {
+    std::int32_t net = -1;
+    double rate_up = 0.0, rate_down = 0.0, prob = 0.0, energy = 0.0;
+  };
+
+  struct Runner;  // the packed event loop (bitsim.cpp)
+
+  Prog compile(std::uint64_t fn, int gate_vars);
+  std::uint64_t eval(const Prog& prog,
+                     const std::uint64_t* pin_words) const noexcept;
+
+  const SimEngine& engine_;
+  double delta_ = 0.0;       ///< uniform commit delay; 0 = zero-delay
+  double span_guard_ = 0.0;  ///< cascade time-extent bound per toggle
+  std::uint32_t slot_count_ = 0;  ///< cascade calendar size: max level + 2
+  std::vector<GateRec> gate_;
+  std::vector<NodeRec> node_;             ///< CSR via GateRec
+  std::vector<std::uint8_t> prog_vars_;   ///< Prog variable pools
+  std::vector<ArcRec> arc_;               ///< fanout arcs, CSR by net
+  std::vector<std::uint32_t> arc_off_;    ///< [nets + 1]
+  std::vector<PiRec> pi_;                 ///< in engine pi_order
+  std::vector<netlist::GateId> topo_;
+};
+
+}  // namespace tr::sim

@@ -573,6 +573,14 @@ SimEngine::SimEngine(const netlist::Netlist& netlist,
     : netlist_(netlist), tech_(tech), options_(options) {
   netlist_.validate();
   require(options_.measure_time > 0.0, "switch_sim: measure_time must be > 0");
+  delay_model_ = options_.delay_model;
+  if (delay_model_ == DelayModel::automatic) {
+    delay_model_ =
+        options_.use_gate_delays ? DelayModel::elmore : DelayModel::zero;
+  }
+  if (delay_model_ == DelayModel::unit) {
+    require(options_.unit_delay > 0.0, "switch_sim: unit_delay must be > 0");
+  }
   topo_order_ = netlist_.topological_order();
   build_gates();
   build_pis(pi_stats);
@@ -614,10 +622,16 @@ void SimEngine::build_gates() {
       tables.internal_caps.push_back(caps[static_cast<std::size_t>(node)]);
     }
     tables.output_cap = caps[GateGraph::output_node];
-    if (options_.use_gate_delays) {
-      tables.pin_delay = delay::gate_delays(graph, caps, tech_).pin_delay;
-    } else {
-      tables.pin_delay.assign(inst.inputs.size(), 0.0);
+    switch (delay_model_) {
+      case DelayModel::elmore:
+        tables.pin_delay = delay::gate_delays(graph, caps, tech_).pin_delay;
+        break;
+      case DelayModel::unit:
+        tables.pin_delay.assign(inst.inputs.size(), options_.unit_delay);
+        break;
+      default:  // zero-delay (automatic already resolved)
+        tables.pin_delay.assign(inst.inputs.size(), 0.0);
+        break;
     }
     tables.level = net_level[static_cast<std::size_t>(inst.output)];
     gates_.push_back(std::move(tables));

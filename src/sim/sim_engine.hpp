@@ -118,6 +118,10 @@ public:
   /// executes the reference loop, preserving results at reference speed.
   bool fast_path_available() const noexcept { return fast_ok_; }
 
+  /// The delay model actually in effect: options().delay_model with
+  /// `automatic` resolved against use_gate_delays at construction.
+  DelayModel resolved_delay_model() const noexcept { return delay_model_; }
+
   const SimOptions& options() const noexcept { return options_; }
   const netlist::Netlist& netlist() const noexcept { return netlist_; }
 
@@ -145,6 +149,10 @@ private:
   struct Replication;  // reference-loop mutable state (sim_engine.cpp)
   struct FastRun;      // hot-path runner (sim_engine.cpp)
 
+  /// The bit-parallel lane (sim/bitsim.hpp) compiles its packed tables
+  /// straight from the flat hot-path tables below.
+  friend class BitSim;
+
   void build_gates();
   void build_pis(const PiStatsTable& pi_stats);
   void build_flat();
@@ -152,6 +160,7 @@ private:
   const netlist::Netlist& netlist_;
   const celllib::Tech& tech_;
   SimOptions options_;
+  DelayModel delay_model_ = DelayModel::elmore;  ///< automatic resolved
 
   std::vector<GateTables> gates_;           ///< indexed by GateId
   std::vector<PiProcess> pi_;               ///< indexed by NetId

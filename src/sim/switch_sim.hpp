@@ -48,12 +48,26 @@ namespace tr::sim {
 /// time — because both lanes realise the exact (time, level, seq) order.
 enum class SchedulerKind : std::uint8_t { automatic, calendar, heap };
 
+/// Commit-delay model selection. `automatic` preserves the legacy
+/// `use_gate_delays` flag (true = elmore, false = zero); the explicit
+/// values override it. `zero` (glitch-free, delta-cycle levelized) and
+/// `unit` (uniform per-arc delay, glitches retained) are the two models
+/// the bit-parallel Monte-Carlo lane (sim/bitsim.hpp) accepts; `elmore`
+/// keeps the per-pin delay-accurate scalar path.
+enum class DelayModel : std::uint8_t { automatic, elmore, zero, unit };
+
 struct SimOptions {
   double warmup_time = 2e-5;   ///< settle time before measuring [s]
   double measure_time = 1e-3;  ///< measurement window [s]
   std::uint64_t seed = 1;      ///< RNG seed for the input processes
   bool count_pi_energy = true; ///< include PI-net load switching energy
-  bool use_gate_delays = true; ///< false = zero-delay (no glitches)
+  bool use_gate_delays = true; ///< legacy delay toggle (see delay_model)
+  /// Delay-model selection; `automatic` defers to use_gate_delays.
+  DelayModel delay_model = DelayModel::automatic;
+  /// Uniform per-arc commit delay under DelayModel::unit [s]; must be
+  /// > 0 (an actual zero would silently change the glitch semantics —
+  /// ask for DelayModel::zero instead).
+  double unit_delay = 1e-12;
   std::uint64_t max_events = 200'000'000;  ///< runaway guard
   SchedulerKind scheduler = SchedulerKind::automatic;
 };

@@ -1,0 +1,238 @@
+// Differential suite for the bit-parallel simulation lane (DESIGN.md
+// Sec. 11): every extracted lane of a packed 64-replication run must be
+// field-identical to the reference event loop run with that lane's seed
+// — across seeds, the zero- and unit-delay models, frozen and mixed
+// input processes, per-lane truncation and random SP-tree netlists. This
+// is the packed lane's entire correctness contract; everything else
+// (monte_carlo routing, the perf gate) rides on it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "benchgen/generators.hpp"
+#include "benchgen/suite.hpp"
+#include "celllib/library.hpp"
+#include "opt/scenario.hpp"
+#include "random_sp_tree.hpp"
+#include "sim/bitsim.hpp"
+#include "sim/sim_engine.hpp"
+#include "util/rng.hpp"
+
+namespace tr::sim {
+namespace {
+
+using boolfn::SignalStats;
+using celllib::CellLibrary;
+using celllib::Tech;
+using netlist::NetId;
+using netlist::Netlist;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+/// Field-by-field equality of the semantic (seed-determined) SimResult
+/// content; the wall-clock diagnostics are deliberately not compared.
+void expect_results_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.power, b.power);
+  EXPECT_EQ(a.output_node_energy, b.output_node_energy);
+  EXPECT_EQ(a.internal_node_energy, b.internal_node_energy);
+  EXPECT_EQ(a.pi_energy, b.pi_energy);
+  EXPECT_EQ(a.per_gate_energy, b.per_gate_energy);
+  EXPECT_EQ(a.per_gate_output_energy, b.per_gate_output_energy);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t n = 0; n < a.nets.size(); ++n) {
+    EXPECT_EQ(a.nets[n].prob, b.nets[n].prob) << "net " << n;
+    EXPECT_EQ(a.nets[n].density, b.nets[n].density) << "net " << n;
+  }
+  EXPECT_EQ(a.event_count, b.event_count);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.measured_time, b.measured_time);
+}
+
+/// One packed run vs 64 reference-oracle runs, lane by lane. Returns the
+/// scratch's deferred mask so callers can assert on the deferral mix.
+std::uint64_t lane_differential_check(
+    const Netlist& nl, const std::map<NetId, SignalStats>& stats,
+    const SimOptions& opt, std::uint64_t master_seed) {
+  const Tech tech;
+  const SimEngine engine(nl, stats, tech, opt);
+  if (!BitSim::supported(engine)) {
+    ADD_FAILURE() << "engine configuration is not packable";
+    return 0;
+  }
+  const BitSim bitsim(engine);
+  std::uint64_t seeds[BitSim::lane_count];
+  Rng::derive_streams(master_seed, 0, seeds, BitSim::lane_count);
+  BitSimScratch scratch;
+  bitsim.run(seeds, scratch);
+  for (int k = 0; k < BitSim::lane_count; ++k) {
+    SCOPED_TRACE(testing::Message() << "lane " << k << " seed " << seeds[k]);
+    const SimResult oracle = engine.run_reference(seeds[k]);
+    expect_results_identical(bitsim.extract_lane(scratch, k), oracle);
+  }
+  return scratch.deferred_mask;
+}
+
+SimOptions zero_delay_options() {
+  SimOptions opt;
+  opt.delay_model = DelayModel::zero;
+  return opt;
+}
+
+SimOptions unit_delay_options(double delay) {
+  SimOptions opt;
+  opt.delay_model = DelayModel::unit;
+  opt.unit_delay = delay;
+  return opt;
+}
+
+TEST(BitSimDifferential, RippleCarryZeroAndUnitDelay) {
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 4);
+  std::map<NetId, SignalStats> stats;
+  for (NetId id : nl.primary_inputs()) stats[id] = {0.4, 2e5};
+  for (SimOptions opt : {zero_delay_options(), unit_delay_options(1e-9)}) {
+    SCOPED_TRACE(testing::Message()
+                 << "model "
+                 << (opt.delay_model == DelayModel::zero ? "zero" : "unit"));
+    opt.measure_time = 4e-4;
+    opt.warmup_time = 1e-5;
+    for (std::uint64_t master : {1ull, 42ull, 987654321ull}) {
+      lane_differential_check(nl, stats, opt, master);
+    }
+  }
+}
+
+TEST(BitSimDifferential, SuiteCircuitScenarioStats) {
+  const auto& spec = benchgen::suite_entry("cm85a");
+  const Netlist nl = benchgen::build_benchmark(lib(), spec);
+  const auto stats = opt::scenario_a(nl, spec.seed ^ 0x5EEDULL);
+  for (SimOptions opt : {zero_delay_options(), unit_delay_options(1e-10)}) {
+    opt.measure_time = 1e-4;
+    lane_differential_check(nl, stats, opt, 7);
+  }
+}
+
+TEST(BitSimDifferential, RandomSpTreeNetlists) {
+  // Random series-parallel cells: deep stacks, many internal nodes,
+  // mixed arities, reconvergent fanout — the shared-cascade machinery
+  // (same-PI groups, per-lane validity masks) under stress.
+  Rng rng(20260808);
+  for (int trial = 0; trial < 4; ++trial) {
+    SCOPED_TRACE(testing::Message() << "trial " << trial);
+    const CellLibrary sp_lib = testutil::random_sp_library(rng, 4);
+    const Netlist nl = testutil::random_sp_netlist(sp_lib, rng, 8);
+    std::map<NetId, SignalStats> stats;
+    for (NetId id : nl.primary_inputs()) {
+      stats[id] = {rng.uniform(0.2, 0.8), rng.uniform(1e5, 4e5)};
+    }
+    SimOptions opt =
+        (trial % 2) == 0 ? zero_delay_options() : unit_delay_options(5e-10);
+    opt.measure_time = 2e-4;
+    opt.warmup_time = 1e-5;
+    lane_differential_check(nl, stats, opt,
+                            11 + static_cast<std::uint64_t>(trial));
+  }
+}
+
+TEST(BitSimDifferential, PerLaneTruncationMixedBudgets) {
+  // A budget between the lanes' natural event counts truncates some
+  // lanes and not others; each lane must match its own oracle exactly —
+  // including which lanes carry the truncated flag (the per-lane
+  // truncation regression: one lane hitting max_events must not mark the
+  // other 63).
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 3);
+  std::map<NetId, SignalStats> stats;
+  for (NetId id : nl.primary_inputs()) stats[id] = {0.5, 2e5};
+  SimOptions opt = zero_delay_options();
+  opt.measure_time = 4e-4;
+  const Tech tech;
+  const SimEngine probe(nl, stats, tech, opt);
+  std::uint64_t seeds[BitSim::lane_count];
+  Rng::derive_streams(5, 0, seeds, BitSim::lane_count);
+  std::uint64_t min_events = ~std::uint64_t{0}, max_events = 0;
+  for (int k = 0; k < BitSim::lane_count; ++k) {
+    const std::uint64_t events = probe.run_reference(seeds[k]).event_count;
+    min_events = std::min(min_events, events);
+    max_events = std::max(max_events, events);
+  }
+  ASSERT_LT(min_events, max_events);
+  for (std::uint64_t budget :
+       {(min_events + max_events) / 2, std::uint64_t{1}}) {
+    SCOPED_TRACE(testing::Message() << "max_events " << budget);
+    opt.max_events = budget;
+    lane_differential_check(nl, stats, opt, 5);
+  }
+
+  // The mixed budget really does produce a mixture.
+  opt.max_events = (min_events + max_events) / 2;
+  const SimEngine engine(nl, stats, tech, opt);
+  const BitSim bitsim(engine);
+  BitSimScratch scratch;
+  bitsim.run(seeds, scratch);
+  EXPECT_NE(scratch.truncated_mask, 0u);
+  EXPECT_NE(scratch.truncated_mask, ~std::uint64_t{0});
+}
+
+TEST(BitSimDifferential, FrozenAndMixedInputProcesses) {
+  // Frozen inputs exercise the empty-calendar lane exit; the mixed case
+  // leaves some processes frozen with others toggling.
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 2);
+  const std::vector<NetId> pis = nl.primary_inputs();
+  std::map<NetId, SignalStats> frozen;
+  for (NetId id : pis) frozen[id] = {1.0, 0.0};
+  SimOptions opt = zero_delay_options();
+  opt.measure_time = 2e-4;
+  lane_differential_check(nl, frozen, opt, 3);
+
+  std::map<NetId, SignalStats> mixed = frozen;
+  mixed[pis.front()] = {0.5, 3e5};
+  lane_differential_check(nl, mixed, opt, 3);
+  lane_differential_check(nl, mixed, opt, 4);
+}
+
+TEST(BitSimDifferential, UnitDelayDeferralMixtureStaysExact) {
+  // A unit delay comparable to the PI toggle gaps forces many lanes
+  // through the deferral path (next toggle inside the cascade horizon);
+  // deferred lanes are rerun scalar with the same seed and must be just
+  // as exact as packed ones.
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 4);
+  std::map<NetId, SignalStats> stats;
+  for (NetId id : nl.primary_inputs()) stats[id] = {0.5, 3e5};
+  SimOptions opt = unit_delay_options(1e-7);
+  opt.measure_time = 3e-4;
+  opt.warmup_time = 1e-5;
+  const std::uint64_t deferred = lane_differential_check(nl, stats, opt, 99);
+  EXPECT_NE(deferred, 0u) << "test expected to exercise the deferral path";
+}
+
+TEST(BitSimDifferential, UnsupportedConfigurationsAreRejected) {
+  const Netlist nl = benchgen::ripple_carry_adder(lib(), 2);
+  std::map<NetId, SignalStats> stats;
+  for (NetId id : nl.primary_inputs()) stats[id] = {0.5, 2e5};
+  const Tech tech;
+
+  SimOptions elmore;
+  elmore.delay_model = DelayModel::elmore;
+  EXPECT_FALSE(BitSim::supported(SimEngine(nl, stats, tech, elmore)));
+
+  // The legacy flag resolves to elmore by default...
+  SimOptions legacy;
+  EXPECT_FALSE(BitSim::supported(SimEngine(nl, stats, tech, legacy)));
+  // ...and to zero-delay when delays are off.
+  legacy.use_gate_delays = false;
+  EXPECT_TRUE(BitSim::supported(SimEngine(nl, stats, tech, legacy)));
+
+  // A unit delay below the window's floating-point resolution cannot be
+  // ordered by hop count; the lane refuses rather than drifting.
+  SimOptions subulp = unit_delay_options(1e-22);
+  EXPECT_FALSE(BitSim::supported(SimEngine(nl, stats, tech, subulp)));
+}
+
+}  // namespace
+}  // namespace tr::sim
