@@ -5,6 +5,7 @@
 
 #include "celllib/catalog.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace tr::celllib {
 
@@ -78,6 +79,9 @@ std::string stored_key(const gategraph::GateTopology& topology) {
 
 std::shared_ptr<const ReorderCatalog> CellLibrary::catalog(
     const gategraph::GateTopology& start) const {
+  // Before the cache lookup, so a targeted fault fires for its circuit
+  // regardless of whether another circuit already populated the key.
+  if (util::fault::enabled()) util::fault::check("celllib.characterize");
   const std::string key = stored_key(start);
   const std::lock_guard<std::mutex> lock(catalog_mutex_);
   auto it = catalogs_.find(key);

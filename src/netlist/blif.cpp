@@ -6,6 +6,7 @@
 
 #include "boolfn/isop.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 namespace tr::netlist {
@@ -57,14 +58,17 @@ LogicNode parse_names_block(const std::vector<Line>& lines, std::size_t& i,
                             const std::string& source) {
   const Line& header = lines[i];
   TR_ASSERT(header.tokens[0] == ".names");
-  require(header.tokens.size() >= 2,
-          source + ": .names needs at least an output signal");
+  if (header.tokens.size() < 2) {
+    fail(source, header.number, ".names needs at least an output signal");
+  }
   LogicNode node;
   node.name = header.tokens.back();
   node.fanins.assign(header.tokens.begin() + 1, header.tokens.end() - 1);
   const int n = static_cast<int>(node.fanins.size());
-  require(n <= boolfn::TruthTable::max_vars,
-          source + ": .names node '" + node.name + "' has too many fanins");
+  if (n > boolfn::TruthTable::max_vars) {
+    fail(source, header.number,
+         ".names node '" + node.name + "' has too many fanins");
+  }
 
   std::vector<std::string> cubes;
   char output_phase = 0;
@@ -145,6 +149,7 @@ ModelHeader parse_header_directives(const std::vector<Line>& lines,
 }  // namespace
 
 LogicNetwork read_blif_logic(std::istream& in, const std::string& source) {
+  if (util::fault::enabled()) util::fault::check("parse.blif");
   const std::vector<Line> lines = logical_lines(in);
   const ModelHeader header = parse_header_directives(lines, source);
 
@@ -181,6 +186,7 @@ LogicNetwork read_blif_logic_file(const std::string& path) {
 
 Netlist read_blif_mapped(std::istream& in, const celllib::CellLibrary& library,
                          const std::string& source) {
+  if (util::fault::enabled()) util::fault::check("parse.blif_mapped");
   const std::vector<Line> lines = logical_lines(in);
   const ModelHeader header = parse_header_directives(lines, source);
 

@@ -5,6 +5,7 @@
 #include "delay/elmore.hpp"
 #include "opt/scenario.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tr::opt {
@@ -17,6 +18,32 @@ double ms_between(std::chrono::steady_clock::time_point t0,
 }
 
 }  // namespace
+
+const char* circuit_status_name(CircuitStatus status) noexcept {
+  switch (status) {
+    case CircuitStatus::ok:
+      return "ok";
+    case CircuitStatus::error:
+      return "error";
+    case CircuitStatus::cancelled:
+      return "cancelled";
+  }
+  return "error";
+}
+
+CircuitError describe_current_exception() {
+  try {
+    throw;
+  } catch (const Error& e) {
+    return {e.code(), e.site_chain(), e.what()};
+  } catch (const std::bad_alloc&) {
+    return {ErrorCode::resource, "", "allocation failure (std::bad_alloc)"};
+  } catch (const std::exception& e) {
+    return {ErrorCode::unknown, "", e.what()};
+  } catch (...) {
+    return {ErrorCode::unknown, "", "unknown exception"};
+  }
+}
 
 BatchOptimizer::BatchOptimizer(const celllib::CellLibrary& library,
                                const celllib::Tech& tech, BatchOptions options)
@@ -48,29 +75,86 @@ BatchReport BatchOptimizer::run(std::vector<BatchCircuit>& batch) const {
                             ? 1
                             : options_.threads_per_circuit;
 
+  per_circuit.cancel = options_.cancel;
+
   util::ThreadPool pool(options_.jobs);
   pool.parallel_for(batch.size(), [&](std::size_t i) {
     BatchCircuit& circuit = batch[i];
     BatchCircuitResult& result = report.circuits[i];
     const auto t0 = std::chrono::steady_clock::now();
-
     result.name = circuit.name;
-    result.gates = circuit.netlist.gate_count();
-    result.primary_inputs =
-        static_cast<int>(circuit.netlist.primary_inputs().size());
-    result.primary_outputs =
-        static_cast<int>(circuit.netlist.primary_outputs().size());
-    result.critical_path_before =
-        delay::circuit_delay(circuit.netlist, tech_).critical_path;
-    result.report =
-        optimize(circuit.netlist, circuit.pi_stats, tech_, per_circuit);
-    result.critical_path_after =
-        delay::circuit_delay(circuit.netlist, tech_).critical_path;
 
-    result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
+    if (circuit.load_error) {
+      // The circuit never loaded; its placeholder netlist carries no
+      // work. Surface the stored record (which may itself be a
+      // cancellation) without running anything.
+      result.status = circuit.load_error->code == ErrorCode::cancelled
+                          ? CircuitStatus::cancelled
+                          : CircuitStatus::error;
+      result.error = circuit.load_error;
+      result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
+      if (!options_.keep_going) {
+        throw Error(circuit.name + ": " + circuit.load_error->message,
+                    circuit.load_error->code);
+      }
+      return;
+    }
+
+    // Name this worker's unit of work so `site @ circuit` fault
+    // targeting is deterministic regardless of jobs. The context is
+    // thread-local: with threads_per_circuit == 1 the whole circuit runs
+    // on this thread and every site below sees it.
+    const util::fault::ScopedContext fault_context(circuit.name);
+
+    // All-or-nothing: optimize() mutates the netlist as it commits, so
+    // keep the incoming configuration to move back on any failure. One
+    // netlist copy per circuit — noise next to the scoring work.
+    netlist::Netlist snapshot = circuit.netlist;
+    try {
+      options_.cancel.check("batch");
+      if (util::fault::enabled()) {
+        util::fault::check("batch.circuit");
+      }
+      result.gates = circuit.netlist.gate_count();
+      result.primary_inputs =
+          static_cast<int>(circuit.netlist.primary_inputs().size());
+      result.primary_outputs =
+          static_cast<int>(circuit.netlist.primary_outputs().size());
+      result.critical_path_before =
+          delay::circuit_delay(circuit.netlist, tech_).critical_path;
+      result.report =
+          optimize(circuit.netlist, circuit.pi_stats, tech_, per_circuit);
+      result.critical_path_after =
+          delay::circuit_delay(circuit.netlist, tech_).critical_path;
+      result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
+    } catch (...) {
+      circuit.netlist = std::move(snapshot);
+      const CircuitError error = describe_current_exception();
+      // Reset to defaults first: nothing numeric from the failed attempt
+      // may survive into the record.
+      result = BatchCircuitResult{};
+      result.name = circuit.name;
+      result.status = error.code == ErrorCode::cancelled
+                          ? CircuitStatus::cancelled
+                          : CircuitStatus::error;
+      result.error = error;
+      result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
+      if (!options_.keep_going) throw;
+    }
   });
 
   for (const BatchCircuitResult& result : report.circuits) {
+    switch (result.status) {
+      case CircuitStatus::ok:
+        ++report.circuits_ok;
+        break;
+      case CircuitStatus::error:
+        ++report.circuits_failed;
+        continue;
+      case CircuitStatus::cancelled:
+        ++report.circuits_cancelled;
+        continue;
+    }
     report.gates_total += result.gates;
     report.gates_changed += result.report.gates_changed;
     report.model_power_before += result.report.model_power_before;
@@ -112,6 +196,23 @@ BatchCircuit make_scenario_circuit(netlist::Netlist netlist, char scenario,
                        circuit_seed(master_seed, circuit.name))
           : scenario_b(circuit.netlist);
   return circuit;
+}
+
+BatchCircuit make_scenario_circuit_guarded(
+    const std::string& name, char scenario, std::uint64_t master_seed,
+    const celllib::CellLibrary& library,
+    const std::function<netlist::Netlist()>& loader) {
+  try {
+    // A successful load keeps the netlist's own name, exactly like
+    // make_scenario_circuit; `name` labels only the failure placeholder.
+    return with_error_site("load", [&] {
+      return make_scenario_circuit(loader(), scenario, master_seed);
+    });
+  } catch (...) {
+    BatchCircuit placeholder{name, netlist::Netlist(library, name), {}};
+    placeholder.load_error = describe_current_exception();
+    return placeholder;
+  }
 }
 
 }  // namespace tr::opt

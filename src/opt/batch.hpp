@@ -24,9 +24,19 @@
 // `threads_per_circuit` values — circuits are independent, workers write
 // disjoint slots, results are assembled in input order, and optimize()
 // itself is deterministic by contract.
+//
+// Fault isolation (DESIGN.md Sec. 12.2): with keep_going (the default) a
+// circuit that throws — malformed input, injected fault, bad_alloc,
+// cancellation — becomes a structured per-circuit error record while
+// every other circuit completes byte-identical to a run that never
+// contained it. A failed or cancelled circuit is all-or-nothing: its
+// netlist is restored from a pre-optimize snapshot and its result
+// carries no partial numbers.
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,8 +45,33 @@
 #include "celllib/tech.hpp"
 #include "netlist/netlist.hpp"
 #include "opt/optimizer.hpp"
+#include "util/cancel.hpp"
 
 namespace tr::opt {
+
+/// Per-circuit outcome classification (JSON `status`, DESIGN.md
+/// Sec. 12.2). `cancelled` is split from `error` because it reflects the
+/// caller's budget, not the circuit's input — retrying a cancelled
+/// circuit with a longer deadline is sound, retrying a parse error is
+/// not.
+enum class CircuitStatus : std::uint8_t { ok, error, cancelled };
+
+/// Stable lowercase names, the JSON/report encoding of CircuitStatus.
+const char* circuit_status_name(CircuitStatus status) noexcept;
+
+/// Structured description of why a circuit produced no result.
+struct CircuitError {
+  ErrorCode code = ErrorCode::unknown;
+  /// Pipeline location, outermost-first ("optimize/score"); empty when
+  /// the exception carried no site annotations.
+  std::string site;
+  std::string message;
+};
+
+/// Builds a CircuitError from the in-flight exception. Must be called
+/// inside a catch block; folds foreign exceptions into the taxonomy
+/// (bad_alloc -> resource, std::exception -> unknown).
+CircuitError describe_current_exception();
 
 /// One circuit of a batch job; the netlist is optimized in place. The
 /// netlist must reference the batch's shared CellLibrary (enforced by
@@ -46,6 +81,11 @@ struct BatchCircuit {
   std::string name;
   netlist::Netlist netlist;
   std::map<netlist::NetId, boolfn::SignalStats> pi_stats;
+  /// Set when loading/preparing this circuit already failed (see
+  /// make_scenario_circuit_guarded): the netlist is an empty placeholder
+  /// and BatchOptimizer turns this record into the circuit's result
+  /// without touching it, keeping batch input order intact.
+  std::optional<CircuitError> load_error;
 };
 
 struct BatchOptions {
@@ -58,11 +98,25 @@ struct BatchOptions {
   /// Per-circuit optimization settings (objective, model, delay budget,
   /// instance restriction). `opt.threads` is ignored.
   OptimizeOptions opt;
+  /// Fault isolation: true (default) contains a throwing circuit as an
+  /// error record and completes the rest; false rethrows the first
+  /// failure out of run() after aborting the unclaimed circuits.
+  bool keep_going = true;
+  /// Cooperative cancellation/deadline for the whole batch, forwarded
+  /// into every optimize() call. Circuits that observe it report
+  /// CircuitStatus::cancelled; already-finished circuits keep their
+  /// results.
+  util::CancellationToken cancel;
 };
 
-/// Per-circuit outcome, in batch input order.
+/// Per-circuit outcome, in batch input order. For a non-ok circuit only
+/// `name`, `status`, `error` and `elapsed_ms` are meaningful — every
+/// numeric field stays default-initialised (the all-or-nothing
+/// contract: no partial numbers ever escape a failed circuit).
 struct BatchCircuitResult {
   std::string name;
+  CircuitStatus status = CircuitStatus::ok;
+  std::optional<CircuitError> error;  ///< set iff status != ok
   int gates = 0;
   int primary_inputs = 0;
   int primary_outputs = 0;
@@ -74,6 +128,10 @@ struct BatchCircuitResult {
 
 struct BatchReport {
   std::vector<BatchCircuitResult> circuits;  ///< batch input order
+  int circuits_ok = 0;
+  int circuits_failed = 0;     ///< status == error
+  int circuits_cancelled = 0;  ///< status == cancelled
+  /// Aggregates below sum over ok circuits only.
   int gates_total = 0;
   int gates_changed = 0;
   double model_power_before = 0.0;  ///< sum over circuits [W]
@@ -94,9 +152,12 @@ public:
 
   /// Optimizes every circuit of `batch` in place and reports per-circuit
   /// and aggregate results. Throws tr::Error when a netlist references a
-  /// different library than the shared one. The first exception raised
-  /// by a circuit aborts the remaining unclaimed circuits and is
-  /// rethrown.
+  /// different library than the shared one. With keep_going (default), a
+  /// throwing circuit becomes an error/cancelled record — its netlist
+  /// restored to the incoming configuration — and the other circuits'
+  /// results are byte-identical to a batch that never contained it; with
+  /// fail-fast the first exception aborts the remaining unclaimed
+  /// circuits and is rethrown.
   BatchReport run(std::vector<BatchCircuit>& batch) const;
 
   const BatchOptions& options() const noexcept { return options_; }
@@ -119,5 +180,17 @@ std::uint64_t circuit_seed(std::uint64_t master_seed, const std::string& name);
 /// The circuit name is the netlist's name.
 BatchCircuit make_scenario_circuit(netlist::Netlist netlist, char scenario,
                                    std::uint64_t master_seed);
+
+/// Fault-isolating wrapper for batch assembly: runs `loader` (parse a
+/// file, generate a netlist, ...) and wraps the result like
+/// make_scenario_circuit (a successful load keeps the netlist's own
+/// name). When the loader or the statistics generation throws, returns
+/// a placeholder circuit — an empty netlist bound to `library` under
+/// `name` — whose load_error carries the structured description, so one
+/// unreadable file cannot abort assembling the rest of the batch.
+BatchCircuit make_scenario_circuit_guarded(
+    const std::string& name, char scenario, std::uint64_t master_seed,
+    const celllib::CellLibrary& library,
+    const std::function<netlist::Netlist()>& loader);
 
 }  // namespace tr::opt

@@ -29,12 +29,37 @@ const char* effective_engine(const OptimizeOptions& opt) {
   return reference ? "reference" : "catalog";
 }
 
+void write_error_object(JsonWriter& w, const CircuitError& error) {
+  w.begin_object();
+  w.key("code");
+  w.value(error_code_name(error.code));
+  w.key("site");
+  w.value(error.site);
+  w.key("message");
+  w.value(error.message);
+  w.end_object();
+}
+
 void write_circuit_object(JsonWriter& w, const BatchCircuit& circuit,
                           const BatchCircuitResult& result,
                           const BatchJsonOptions& json) {
   w.begin_object();
   w.key("name");
   w.value(result.name);
+  w.key("status");
+  w.value(circuit_status_name(result.status));
+  if (result.status != CircuitStatus::ok) {
+    // The all-or-nothing contract in the schema itself: a failed or
+    // cancelled circuit gets its error record and nothing numeric.
+    w.key("error");
+    write_error_object(w, result.error ? *result.error : CircuitError{});
+    if (json.include_timing) {
+      w.key("elapsed_ms");
+      w.value(result.elapsed_ms);
+    }
+    w.end_object();
+    return;
+  }
   w.key("gates");
   w.value(result.gates);
   w.key("primary_inputs");
@@ -114,7 +139,7 @@ void write_batch_json(const std::vector<BatchCircuit>& batch,
   JsonWriter w(out);
   w.begin_object();
   w.key("schema_version");
-  w.value(1);
+  w.value(2);
   w.key("generator");
   w.value("tr_opt");
   w.key("objective");
@@ -139,10 +164,33 @@ void write_batch_json(const std::vector<BatchCircuit>& batch,
   }
   w.end_array();
 
+  // Non-ok circuits repeated as a flat index, so "did anything fail"
+  // needs no scan of the circuits array.
+  w.key("errors");
+  w.begin_array();
+  for (const BatchCircuitResult& result : report.circuits) {
+    if (result.status == CircuitStatus::ok) continue;
+    w.begin_object();
+    w.key("name");
+    w.value(result.name);
+    w.key("status");
+    w.value(circuit_status_name(result.status));
+    w.key("error");
+    write_error_object(w, result.error ? *result.error : CircuitError{});
+    w.end_object();
+  }
+  w.end_array();
+
   w.key("totals");
   w.begin_object();
   w.key("circuits");
   w.value(static_cast<std::int64_t>(report.circuits.size()));
+  w.key("circuits_ok");
+  w.value(report.circuits_ok);
+  w.key("circuits_error");
+  w.value(report.circuits_failed);
+  w.key("circuits_cancelled");
+  w.value(report.circuits_cancelled);
   w.key("gates");
   w.value(report.gates_total);
   w.key("gates_changed");

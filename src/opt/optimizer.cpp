@@ -8,6 +8,7 @@
 #include "gategraph/gate_graph.hpp"
 #include "power/gate_power.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tr::opt {
@@ -45,6 +46,7 @@ const std::vector<double>& score_catalog(const ReorderCatalog& catalog,
                                          const celllib::Tech& tech,
                                          power::ModelKind model,
                                          ScoreScratch& scratch) {
+  if (util::fault::enabled()) util::fault::check("opt.score");
   require(static_cast<int>(inputs.size()) == catalog.input_count(),
           "score_catalog: input statistics arity mismatch");
   scratch.probs.clear();
@@ -144,7 +146,12 @@ OptimizeReport optimize_reference(Netlist& netlist,
   }
 
   // DEPTH_FIRST_TRAVERSE: every gate after its transitive fan-in.
+  // Cancellation mid-traversal leaves committed configurations behind;
+  // the containment layer (BatchOptimizer) restores the netlist from its
+  // pre-optimize snapshot, keeping cancellation all-or-nothing.
+  const bool cancellable = options.cancel.valid();
   for (GateId g : netlist.topological_order()) {
+    if (cancellable) options.cancel.check("optimize");
     const netlist::GateInst& inst = netlist.gate(g);
 
     // OBTAIN_PROB_AND_DENS.
@@ -242,20 +249,11 @@ OptimizeReport optimize_reference(Netlist& netlist,
   return report;
 }
 
-}  // namespace
-
-OptimizeReport optimize(Netlist& netlist,
-                        const std::map<NetId, SignalStats>& pi_stats,
-                        const celllib::Tech& tech,
-                        const OptimizeOptions& options) {
-  // Arrival budgeting couples a gate's admissible set to its fan-in gates'
-  // committed configurations — inherently sequential, so it runs on the
-  // reference engine.
-  if (options.engine == Engine::reference ||
-      options.max_circuit_delay_increase >= 0.0) {
-    return optimize_reference(netlist, pi_stats, tech, options);
-  }
-
+/// The default gate-parallel engine (catalog + word-parallel kernel).
+OptimizeReport optimize_catalog(Netlist& netlist,
+                                const std::map<NetId, SignalStats>& pi_stats,
+                                const celllib::Tech& tech,
+                                const OptimizeOptions& options) {
   netlist.validate();
 
   // OBTAIN_PROBABILITIES + CALCULATE_DENS as one up-front topological
@@ -287,11 +285,14 @@ OptimizeReport optimize(Netlist& netlist,
 
   // Catalog prefetch, serial: the CellLibrary cache makes this one
   // characterisation per distinct cell configuration, shared by all gates.
+  const bool cancellable = options.cancel.valid();
   std::vector<std::shared_ptr<const ReorderCatalog>> catalogs(
       static_cast<std::size_t>(netlist.gate_count()));
   for (GateId g = 0; g < netlist.gate_count(); ++g) {
-    catalogs[static_cast<std::size_t>(g)] =
-        netlist.library().catalog(netlist.gate(g).config);
+    if (cancellable) options.cancel.check("optimize");
+    catalogs[static_cast<std::size_t>(g)] = with_error_site("characterize", [&] {
+      return netlist.library().catalog(netlist.gate(g).config);
+    });
   }
 
   // FIND_BEST_REORDERING for all gates, concurrently: decisions are
@@ -322,12 +323,15 @@ OptimizeReport optimize(Netlist& netlist,
   }
   pool->parallel_for(
       static_cast<std::size_t>(netlist.gate_count()), [&](std::size_t gi) {
+        if (cancellable) options.cancel.check("optimize");
         thread_local ScoreScratch scratch;
         const GateId g = static_cast<GateId>(gi);
         const ReorderCatalog& catalog = *catalogs[gi];
         const double load = netlist.external_load(g, tech);
-        const std::vector<double>& powers = score_catalog(
-            catalog, gate_inputs[gi], load, tech, options.model, scratch);
+        const std::vector<double>& powers = with_error_site("score", [&]() -> const std::vector<double>& {
+          return score_catalog(catalog, gate_inputs[gi], load, tech,
+                               options.model, scratch);
+        });
         TR_ASSERT(!powers.empty());
 
         GateOutcome& outcome = outcomes[gi];
@@ -357,6 +361,11 @@ OptimizeReport optimize(Netlist& netlist,
         outcome.chosen = chosen;
       });
 
+  // Last cancellation point: past here the netlist is mutated, so the
+  // commit runs to completion and the result is the full deterministic
+  // report (all-or-nothing without needing a snapshot on this engine).
+  if (cancellable) options.cancel.check("optimize");
+
   // UPDATE_CIRCUIT_INFORMATION: commit and assemble deterministically in
   // GateId order; power totals accumulate in topological order to stay
   // bit-identical with the reference engine's running sums.
@@ -380,6 +389,24 @@ OptimizeReport optimize(Netlist& netlist,
         report.decisions[static_cast<std::size_t>(g)].chosen_power;
   }
   return report;
+}
+
+}  // namespace
+
+OptimizeReport optimize(Netlist& netlist,
+                        const std::map<NetId, SignalStats>& pi_stats,
+                        const celllib::Tech& tech,
+                        const OptimizeOptions& options) {
+  return with_error_site("optimize", [&] {
+    // Arrival budgeting couples a gate's admissible set to its fan-in
+    // gates' committed configurations — inherently sequential, so it runs
+    // on the reference engine.
+    if (options.engine == Engine::reference ||
+        options.max_circuit_delay_increase >= 0.0) {
+      return optimize_reference(netlist, pi_stats, tech, options);
+    }
+    return optimize_catalog(netlist, pi_stats, tech, options);
+  });
 }
 
 }  // namespace tr::opt

@@ -29,6 +29,7 @@
 #include "celllib/tech.hpp"
 #include "netlist/netlist.hpp"
 #include "power/circuit_power.hpp"
+#include "util/cancel.hpp"
 
 namespace tr::opt {
 
@@ -80,6 +81,14 @@ struct OptimizeOptions {
   /// Worker threads for the gate-parallel phase; 0 = one per hardware
   /// thread, 1 = serial. Ignored by the reference engine.
   int threads = 0;
+
+  /// Cooperative cancellation, polled at gate granularity. A cancelled
+  /// run throws tr::Cancelled before any configuration is committed
+  /// (catalog engine) or mid-traversal (reference engine — the batch
+  /// layer restores the netlist), so the caller never observes a
+  /// partially optimized circuit with result numbers attached. The
+  /// default token is inert.
+  util::CancellationToken cancel;
 };
 
 /// Per-gate outcome of the exhaustive exploration.

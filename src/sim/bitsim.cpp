@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "boolfn/word_eval.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace tr::sim {
 
@@ -725,7 +727,13 @@ struct BitSim::Runner {
 
   void run(const std::uint64_t* lane_seeds) {
     initialize(lane_seeds);
+    // Cancellation is polled once per round (one PI toggle across all 64
+    // lanes), the packed loop's natural work unit — the same bounded-lag
+    // contract as the scalar loops' every-8192-events poll.
+    const util::CancellationToken& cancel = b.engine_.options_.cancel;
+    const bool cancellable = cancel.valid();
     while (live) {
+      if (cancellable) cancel.check("simulate");
       if (stage_toggles()) {
         process_groups();
         drain();
@@ -745,6 +753,9 @@ struct BitSim::Runner {
 
 void BitSim::run(const std::uint64_t* lane_seeds,
                  BitSimScratch& scratch) const {
+  // One passage per packed 64-lane group (the scalar route passes once
+  // per replication in SimEngine::run).
+  if (util::fault::enabled()) util::fault::check("sim.replicate");
   Runner(*this, scratch).run(lane_seeds);
 }
 

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "sim/bitsim.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -96,6 +97,12 @@ void run_batch(const SimEngine& engine, const BitSim* bitsim,
                std::size_t first, std::size_t count, Accumulators& acc,
                std::vector<SimResult>& results) {
   if (results.size() < count) results.resize(count);
+  // Per-replicate poll on top of the engines' in-loop polls, so a
+  // cancelled session stops between replications without finishing the
+  // batch. Replications are discarded wholesale on unwind — the fold
+  // below never runs — so no partial summary can be observed.
+  const util::CancellationToken& cancel = engine.options().cancel;
+  const bool cancellable = cancel.valid();
   std::size_t tail_first = 0;
   if (bitsim) {
     // Full 64-replicate groups run packed, one BitSim run per group;
@@ -106,6 +113,7 @@ void run_batch(const SimEngine& engine, const BitSim* bitsim,
     const std::size_t groups = count / lanes;
     tail_first = groups * lanes;
     pool.parallel_for(groups, [&](std::size_t w) {
+      if (cancellable) cancel.check("monte_carlo");
       thread_local BitSimScratch packed;
       std::uint64_t seeds[BitSim::lane_count];
       Rng::derive_streams(master_seed, first + w * lanes, seeds, lanes);
@@ -117,6 +125,7 @@ void run_batch(const SimEngine& engine, const BitSim* bitsim,
     });
   }
   pool.parallel_for(count - tail_first, [&](std::size_t i) {
+    if (cancellable) cancel.check("monte_carlo");
     thread_local ReplicationScratch scratch;
     engine.run(Rng::derive_stream(master_seed, first + tail_first + i),
                scratch, results[tail_first + i]);
@@ -126,9 +135,11 @@ void run_batch(const SimEngine& engine, const BitSim* bitsim,
 
 }  // namespace
 
-SimSummary monte_carlo(const SimEngine& engine,
-                       const MonteCarloOptions& options,
-                       util::ThreadPool* pool) {
+namespace {
+
+SimSummary monte_carlo_impl(const SimEngine& engine,
+                            const MonteCarloOptions& options,
+                            util::ThreadPool* pool) {
   require(options.replications >= 1,
           "monte_carlo: replications must be >= 1");
   require(options.target_rel_ci >= 0.0,
@@ -207,6 +218,16 @@ SimSummary monte_carlo(const SimEngine& engine,
         static_cast<double>(summary.replications) / summary.elapsed_seconds;
   }
   return summary;
+}
+
+}  // namespace
+
+SimSummary monte_carlo(const SimEngine& engine,
+                       const MonteCarloOptions& options,
+                       util::ThreadPool* pool) {
+  return with_error_site("monte_carlo", [&] {
+    return monte_carlo_impl(engine, options, pool);
+  });
 }
 
 SimSummary monte_carlo(const netlist::Netlist& netlist,

@@ -8,6 +8,7 @@
 #include "delay/elmore.hpp"
 #include "gategraph/gate_graph.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace tr::sim {
@@ -93,6 +94,7 @@ struct SimEngine::Replication {
     initialize_state();
     const SimOptions& options = e.options_;
     const double t_end = options.warmup_time + options.measure_time;
+    const bool cancellable = options.cancel.valid();
     double t_final = t_end;
 
     while (!queue.empty()) {
@@ -108,6 +110,11 @@ struct SimEngine::Replication {
       }
       queue.pop();
       ++result.event_count;
+      // Same polling period as FastRun so both loops cancel within the
+      // same bounded event lag (DESIGN.md Sec. 12.3).
+      if (cancellable && (result.event_count & 8191u) == 0) {
+        options.cancel.check("simulate");
+      }
       last_event_time = ev.time;
       if (ev.kind == Event::Kind::pi_toggle) {
         handle_pi_toggle(ev);
@@ -338,6 +345,7 @@ struct SimEngine::FastRun {
     initialize_state();
     const double t_end = e.options_.warmup_time + e.options_.measure_time;
     const std::uint64_t max_events = e.options_.max_events;
+    const bool cancellable = e.options_.cancel.valid();
     double t_final = t_end;
 
     EventScheduler::Event ev;
@@ -350,6 +358,11 @@ struct SimEngine::FastRun {
       }
       s.scheduler.pop();
       ++result.event_count;
+      // Polled every 8192 events: bounded cancellation lag at a cost the
+      // throughput gate cannot see (one hoisted bool test per event).
+      if (cancellable && (result.event_count & 8191u) == 0) {
+        e.options_.cancel.check("simulate");
+      }
       last_event_time = ev.time;
       if ((ev.payload & 1u) == 0) {
         handle_pi_toggle(static_cast<NetId>(ev.payload >> 1), ev.time);
@@ -783,6 +796,7 @@ SimResult SimEngine::run(std::uint64_t seed,
 
 void SimEngine::run(std::uint64_t seed, ReplicationScratch& scratch,
                     SimResult& result) const {
+  if (util::fault::enabled()) util::fault::check("sim.replicate");
   const auto start = std::chrono::steady_clock::now();
   if (!fast_ok_) {
     result = Replication(*this, seed).run();

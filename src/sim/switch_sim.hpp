@@ -37,6 +37,7 @@
 #include "boolfn/signal.hpp"
 #include "celllib/tech.hpp"
 #include "netlist/netlist.hpp"
+#include "util/cancel.hpp"
 
 namespace tr::sim {
 
@@ -70,6 +71,11 @@ struct SimOptions {
   double unit_delay = 1e-12;
   std::uint64_t max_events = 200'000'000;  ///< runaway guard
   SchedulerKind scheduler = SchedulerKind::automatic;
+  /// Cooperative cancellation, polled every few thousand events in the
+  /// replication loops (scalar and bit-parallel agree: a cancelled
+  /// replication throws tr::util::Cancelled and yields no partial
+  /// SimResult). The default token is inert and costs nothing.
+  util::CancellationToken cancel;
 };
 
 /// Flat NetId-indexed primary-input statistics: the boundary type the

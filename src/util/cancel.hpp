@@ -1,0 +1,81 @@
+#pragma once
+// Cooperative cancellation and deadlines (DESIGN.md Sec. 12.3).
+//
+// A CancellationToken is a cheap copyable handle to shared cancellation
+// state. Long-running loops poll it at natural checkpoints (per gate
+// decision in the optimizer, every few thousand events in the
+// simulator, per replication in monte_carlo) and abandon the work unit
+// by throwing Cancelled. Cancellation is all-or-nothing at the
+// containment boundary: a cancelled circuit reports `cancelled` and no
+// numbers — never a partially optimized result.
+//
+// The default-constructed token is inert: valid() is false and every
+// check is a no-op, so call sites can poll unconditionally (hot loops
+// hoist `valid()` out and skip the poll entirely, keeping the checks
+// free when no deadline is set).
+//
+// Deadline semantics are latching: once the deadline passes (or
+// request_cancel() is called), should_cancel() stays true forever, so
+// every subsequent checkpoint in the same run agrees — the first
+// checkpoint past the deadline cancels, nothing downstream can
+// "un-cancel" and produce partial results.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace tr::util {
+
+/// Thrown by CancellationToken::check when cancellation was requested
+/// or the deadline passed. Carries ErrorCode::cancelled; the message is
+/// deterministic (no timestamps) so cancelled-circuit reports are
+/// byte-stable.
+class Cancelled : public Error {
+public:
+  explicit Cancelled(const std::string& what_arg)
+      : Error(what_arg, ErrorCode::cancelled) {}
+};
+
+class CancellationToken {
+public:
+  /// Inert token: valid() is false, checks never fire.
+  CancellationToken() = default;
+
+  /// A live token with no deadline; cancels only via request_cancel().
+  static CancellationToken cancellable();
+
+  /// A live token whose deadline is `ms` milliseconds from now
+  /// (steady clock). `ms <= 0` means already expired.
+  static CancellationToken with_deadline_ms(double ms);
+
+  /// Whether this token can ever cancel. Hot loops hoist this.
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Requests cancellation (thread-safe, idempotent).
+  void request_cancel() const noexcept;
+
+  /// Polls: true once cancellation was requested or the deadline
+  /// passed. Latches — never reverts to false.
+  bool should_cancel() const noexcept;
+
+  /// Throws Cancelled("<what> cancelled") when should_cancel().
+  void check(const char* what) const {
+    if (state_ != nullptr && should_cancel()) {
+      throw Cancelled(std::string(what) + " cancelled");
+    }
+  }
+
+private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace tr::util

@@ -5,24 +5,78 @@
 // arguments at API boundaries) throw tr::Error. Programming errors inside
 // the library use TR_ASSERT, which throws tr::InternalError so that tests
 // can exercise failure paths without aborting the process.
+//
+// Every tr::Error carries a machine-readable ErrorCode and a site chain
+// (DESIGN.md Sec. 12.1): boundaries append their site name as the
+// exception unwinds, so a containment layer (opt::BatchOptimizer, the
+// tr_opt CLI) can report *where* in the pipeline a circuit failed —
+// "optimize/score" — without parsing the message. The code, not the C++
+// type, is the classification contract: containment layers map codes to
+// report fields and exit codes.
 
 #include <source_location>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tr {
+
+/// Failure classification carried by every tr::Error (DESIGN.md
+/// Sec. 12.1). Containment boundaries switch on the code — never on the
+/// exception's dynamic type — when building error records and exit
+/// codes, so foreign exceptions can be folded into the same taxonomy.
+enum class ErrorCode : std::uint8_t {
+  invalid_argument,  ///< bad user-supplied data at an API boundary
+  parse,             ///< malformed netlist/BLIF/Verilog input
+  internal,          ///< violated invariant (library bug, TR_ASSERT)
+  cancelled,         ///< cooperative cancellation / deadline exceeded
+  fault_injected,    ///< util::fault test harness injection
+  resource,          ///< allocation failure (mapped from std::bad_alloc)
+  unknown,           ///< foreign exception folded in at a boundary
+};
+
+/// Stable lowercase names, the JSON/report encoding of ErrorCode.
+const char* error_code_name(ErrorCode code) noexcept;
 
 /// Base class for all exceptions thrown by the library.
 class Error : public std::runtime_error {
 public:
-  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+  explicit Error(const std::string& what_arg,
+                 ErrorCode code = ErrorCode::invalid_argument)
+      : std::runtime_error(what_arg), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+  /// Appends a boundary name to the site chain as the exception unwinds
+  /// (innermost site first); see with_error_site.
+  void add_site(std::string site) { sites_.push_back(std::move(site)); }
+
+  /// The recorded boundary names, innermost first.
+  const std::vector<std::string>& sites() const noexcept { return sites_; }
+
+  /// The chain rendered outermost-first as a path ("optimize/score");
+  /// empty when no boundary annotated the error.
+  std::string site_chain() const {
+    std::string chain;
+    for (auto it = sites_.rbegin(); it != sites_.rend(); ++it) {
+      if (!chain.empty()) chain += '/';
+      chain += *it;
+    }
+    return chain;
+  }
+
+private:
+  ErrorCode code_;
+  std::vector<std::string> sites_;
 };
 
 /// Thrown when parsing a netlist/BLIF file fails.
 class ParseError : public Error {
 public:
   ParseError(const std::string& file, int line, const std::string& message)
-      : Error(file + ":" + std::to_string(line) + ": " + message),
+      : Error(file + ":" + std::to_string(line) + ": " + message,
+              ErrorCode::parse),
         file_(file),
         line_(line) {}
 
@@ -37,8 +91,41 @@ private:
 /// Thrown when an internal invariant is violated (library bug).
 class InternalError : public Error {
 public:
-  using Error::Error;
+  explicit InternalError(const std::string& what_arg)
+      : Error(what_arg, ErrorCode::internal) {}
 };
+
+inline const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::invalid_argument:
+      return "invalid_argument";
+    case ErrorCode::parse:
+      return "parse";
+    case ErrorCode::internal:
+      return "internal";
+    case ErrorCode::cancelled:
+      return "cancelled";
+    case ErrorCode::fault_injected:
+      return "fault_injected";
+    case ErrorCode::resource:
+      return "resource";
+    case ErrorCode::unknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+/// Runs `f()`, appending `site` to the chain of any tr::Error that
+/// escapes (rethrown unchanged otherwise). Free on the success path.
+template <typename F>
+decltype(auto) with_error_site(const char* site, F&& f) {
+  try {
+    return std::forward<F>(f)();
+  } catch (Error& e) {
+    e.add_site(site);
+    throw;
+  }
+}
 
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr,

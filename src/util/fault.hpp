@@ -1,0 +1,105 @@
+#pragma once
+// Deterministic fault injection (DESIGN.md Sec. 12.4).
+//
+// Recovery paths are worthless untested. This harness plants named
+// injection sites at the pipeline boundaries (parse, characterize,
+// score, simulate, batch worker); a test — or `TR_FAULT=...` in the
+// environment — arms exactly one site, and the nth passage through it
+// throws a chosen exception kind. Everything downstream (BatchOptimizer
+// containment, ThreadPool propagation, tr_opt exit codes) is then
+// exercised for real.
+//
+// Determinism under parallelism: passage counting across worker threads
+// is scheduling-dependent, so faults can instead be scoped to a
+// *context* — a thread-local string the batch worker sets to the
+// circuit name (ScopedContext). `site @ context` targeting fires for
+// exactly one circuit regardless of jobs/threads. Plain nth-based
+// targeting is for serial paths (CLI loads, threads=1 runs).
+//
+// The disarmed fast path is one relaxed atomic load; sites stay in
+// release builds.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tr::util::fault {
+
+/// Thrown by an armed site with kind FaultKind::error. Carries
+/// ErrorCode::fault_injected and the site name in the site chain.
+class FaultInjected : public Error {
+public:
+  explicit FaultInjected(const std::string& site)
+      : Error("injected fault at site '" + site + "'",
+              ErrorCode::fault_injected) {
+    add_site(site);
+  }
+};
+
+/// What an armed site throws when it fires.
+enum class FaultKind : std::uint8_t {
+  error,      ///< FaultInjected (a tr::Error) — the default
+  internal,   ///< tr::InternalError, as if TR_ASSERT fired
+  bad_alloc,  ///< std::bad_alloc, as if an allocation failed
+  runtime,    ///< plain std::runtime_error (foreign exception)
+};
+
+/// The fixed registry of injection sites. Arming a site not in this
+/// list throws tr::Error — a typo'd TR_FAULT must not silently no-op.
+const std::vector<std::string>& sites();
+
+/// True while any fault is armed. One relaxed atomic load; hot call
+/// sites use `if (enabled()) check(site);`.
+bool enabled() noexcept;
+
+/// A registered injection site. No-op unless a fault is armed for
+/// `site` (and its context filter, if any, matches the current
+/// ScopedContext); the nth matching passage throws.
+void check(const char* site);
+
+/// Names the work unit on this thread (e.g. the circuit a batch worker
+/// is processing) so faults can target it deterministically. The
+/// context is thread-local: it does not follow work handed to nested
+/// pool workers.
+class ScopedContext {
+public:
+  explicit ScopedContext(const std::string& context);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+private:
+  std::string previous_;
+};
+
+/// RAII arming of one fault. At most one fault is armed at a time
+/// (tests serialise on this); destruction disarms even if it never
+/// fired.
+class ScopedFault {
+public:
+  explicit ScopedFault(const std::string& site, std::uint64_t nth = 1,
+                       FaultKind kind = FaultKind::error,
+                       std::optional<std::string> context = std::nullopt);
+  ~ScopedFault();
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  /// Matching passages seen so far / whether the fault has thrown.
+  std::uint64_t hits() const;
+  bool fired() const;
+};
+
+/// Arms a fault from `TR_FAULT=site[:nth][:kind][@context]` if set;
+/// returns whether one was armed. The fault stays armed for the
+/// process lifetime (CLI use). kind: error|internal|bad_alloc|runtime.
+bool install_from_env();
+
+/// Disarms any armed fault (test teardown safety net).
+void clear();
+
+}  // namespace tr::util::fault

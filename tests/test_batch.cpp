@@ -188,6 +188,21 @@ TEST(BatchOptimizer, PropagatesCircuitFailures) {
   batch[1].pi_stats.clear();  // optimize() must throw: missing PI stats
   BatchOptions options;
   options.jobs = 2;
+
+  // keep_going (default): the failure is contained as an error record
+  // and the healthy circuit still completes.
+  const BatchReport report = BatchOptimizer(library, tech, options).run(batch);
+  ASSERT_EQ(report.circuits.size(), 2u);
+  EXPECT_EQ(report.circuits[0].status, CircuitStatus::ok);
+  EXPECT_GT(report.circuits[0].gates, 0);
+  ASSERT_EQ(report.circuits[1].status, CircuitStatus::error);
+  ASSERT_TRUE(report.circuits[1].error.has_value());
+  EXPECT_EQ(report.circuits[1].error->code, ErrorCode::invalid_argument);
+  EXPECT_EQ(report.circuits_ok, 1);
+  EXPECT_EQ(report.circuits_failed, 1);
+
+  // fail_fast: the same failure aborts the batch out of run().
+  options.keep_going = false;
   EXPECT_THROW(BatchOptimizer(library, tech, options).run(batch), Error);
 }
 

@@ -23,6 +23,7 @@
 #include "netlist/blif.hpp"
 #include "opt/batch.hpp"
 #include "opt/batch_report.hpp"
+#include "util/fault.hpp"
 
 namespace tr::opt {
 namespace {
@@ -99,6 +100,59 @@ TEST(GoldenTrOpt, ByteStableAcrossWorkerCounts) {
 TEST(GoldenTrOpt, ByteStableAcrossRepeatedRuns) {
   const std::string first = classic_batch_json(0, 1, {});
   EXPECT_EQ(first, classic_batch_json(0, 1, {}));
+}
+
+/// The classic pipeline with one circuit poisoned at the batch-worker
+/// boundary: the error record (code/site/message) is deterministic, so
+/// the whole report — survivors plus the errors index — is
+/// golden-pinnable like the healthy run.
+std::string poisoned_batch_json(int jobs) {
+  const CellLibrary library = CellLibrary::standard();
+  const Tech tech;
+  std::vector<BatchCircuit> batch;
+  for (const std::string& name : benchgen::classic_names()) {
+    const auto logic =
+        netlist::read_blif_logic_string(benchgen::classic_blif(name), name);
+    batch.push_back(make_scenario_circuit(
+        mapper::map_network(logic, library), 'A', /*master_seed=*/1));
+  }
+  BatchOptions options;
+  options.jobs = jobs;
+  options.threads_per_circuit = 1;  // fault context stays on the worker
+  const util::fault::ScopedFault fault("batch.circuit", 1,
+                                       util::fault::FaultKind::error, "cmp2");
+  const BatchReport report =
+      BatchOptimizer(library, tech, options).run(batch);
+  BatchJsonOptions json;
+  json.include_timing = false;
+  std::ostringstream out;
+  write_batch_json(batch, report, options, out, json);
+  return out.str();
+}
+
+TEST(GoldenTrOpt, PoisonedBatchMatchesGolden) {
+  const std::string current = poisoned_batch_json(1);
+  const std::string path = golden_path("tr_opt_poisoned.json");
+
+  if (std::getenv("TR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << current;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+
+  const std::string golden = read_file(path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden " << path
+      << " — run with TR_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(golden, current)
+      << "poisoned-batch JSON drifted from the golden; if intentional, "
+         "regenerate with TR_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+TEST(GoldenTrOpt, PoisonedBatchByteStableAcrossWorkerCounts) {
+  const std::string serial = poisoned_batch_json(1);
+  EXPECT_EQ(serial, poisoned_batch_json(4));
 }
 
 TEST(GoldenTrOpt, GateConfigsToggleOnlyRemovesArrays) {

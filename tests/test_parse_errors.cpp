@@ -1,0 +1,419 @@
+// Malformed-input corpus for the BLIF and Verilog readers (ISSUE 7,
+// satellite b): every diagnostic is pinned against its exact
+// "file:line: message" rendering, so error messages are part of the
+// compatibility surface — a reader refactor that shifts a line number
+// or rewords a message fails here, not in a user's log-scraping script.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "celllib/library.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/verilog.hpp"
+#include "util/error.hpp"
+
+namespace tr::netlist {
+namespace {
+
+using celllib::CellLibrary;
+
+CellLibrary& lib() {
+  static CellLibrary instance = CellLibrary::standard();
+  return instance;
+}
+
+/// Runs `fn` and requires it to throw ParseError whose what() is
+/// exactly `expected` (the "file:line: message" contract).
+template <typename Fn>
+void expect_parse_error(Fn&& fn, const std::string& expected) {
+  try {
+    fn();
+    FAIL() << "expected ParseError: " << expected;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(ErrorCode::parse, e.code());
+    EXPECT_STREQ(expected.c_str(), e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generic BLIF (.names dialect)
+
+TEST(ParseErrorsBlif, NamesNeedsOutputSignal) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs f\n"
+      ".names\n";
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:4: .names needs at least an output signal");
+}
+
+TEST(ParseErrorsBlif, TooManyFanins) {
+  std::string header = ".names";
+  std::string inputs = ".inputs";
+  for (char c = 'a'; c <= 'u'; ++c) {  // 21 fanins > TruthTable::max_vars
+    header += std::string(" ") + c;
+    inputs += std::string(" ") + c;
+  }
+  header += " f\n";
+  const std::string text =
+      ".model m\n" + inputs + "\n.outputs f\n" + header;
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:4: .names node 'f' has too many fanins");
+}
+
+TEST(ParseErrorsBlif, ConstantRowMustBeSingleBit) {
+  const std::string text =
+      ".model m\n"
+      ".outputs f\n"
+      ".names f\n"
+      "11\n";
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:4: constant .names row must be a single bit");
+}
+
+TEST(ParseErrorsBlif, RowShape) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".names a b f\n"
+      "1 1 1\n";
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:5: .names row must be '<cube> <value>'");
+}
+
+TEST(ParseErrorsBlif, CubeWidthMismatch) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".names a b f\n"
+      "1 1\n";
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:5: cube width does not match fanin count");
+}
+
+TEST(ParseErrorsBlif, OutputValueSingleBit) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".names a b f\n"
+      "11 10\n";
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:5: output value must be a single bit");
+}
+
+TEST(ParseErrorsBlif, OutputValueZeroOrOne) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".names a b f\n"
+      "11 x\n";
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:5: output value must be 0 or 1");
+}
+
+TEST(ParseErrorsBlif, MixedOutputPhases) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".names a b f\n"
+      "11 1\n"
+      "00 0\n";
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:6: mixed output phases in one .names block");
+}
+
+TEST(ParseErrorsBlif, SequentialRejected) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs f\n"
+      ".latch a f re clk 0\n";
+  expect_parse_error(
+      [&] { read_blif_logic_string(text, "t.blif"); },
+      "t.blif:4: sequential BLIF is not supported (combinational flow only)");
+}
+
+TEST(ParseErrorsBlif, GateInLogicDialect) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".gate nand2 a=a b=b y=f\n";
+  expect_parse_error(
+      [&] { read_blif_logic_string(text, "t.blif"); },
+      "t.blif:4: mapped BLIF: use read_blif_mapped for .gate models");
+}
+
+TEST(ParseErrorsBlif, ContinuationKeepsFirstLineNumber) {
+  // A '\'-folded .names header spans lines 4-5; its diagnostics must
+  // point at the first physical line of the logical line.
+  const std::string text =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs f\n"
+      ".names \\\n"
+      "\n";
+  expect_parse_error([&] { read_blif_logic_string(text, "t.blif"); },
+                     "t.blif:4: .names needs at least an output signal");
+}
+
+TEST(ParseErrorsBlif, UnopenableFile) {
+  try {
+    read_blif_logic_file("/nonexistent/no-such-dir/x.blif");
+    FAIL() << "expected tr::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(ErrorCode::invalid_argument, e.code());
+    EXPECT_STREQ("cannot open BLIF file '/nonexistent/no-such-dir/x.blif'",
+                 e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mapped BLIF (.gate dialect)
+
+TEST(ParseErrorsBlifMapped, GateNeedsCellAndBindings) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs f\n"
+      ".gate inv\n";
+  expect_parse_error(
+      [&] { read_blif_mapped_string(text, lib(), "t.blif"); },
+      "t.blif:4: .gate needs a cell name and pin bindings");
+}
+
+TEST(ParseErrorsBlifMapped, UnknownCell) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs f\n"
+      ".gate xor9 a=a y=f\n";
+  expect_parse_error([&] { read_blif_mapped_string(text, lib(), "t.blif"); },
+                     "t.blif:4: unknown cell 'xor9'");
+}
+
+TEST(ParseErrorsBlifMapped, MalformedPinBinding) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs f\n"
+      ".gate inv a y=f\n";
+  expect_parse_error(
+      [&] { read_blif_mapped_string(text, lib(), "t.blif"); },
+      "t.blif:4: pin binding 'a' is not of the form pin=net");
+}
+
+TEST(ParseErrorsBlifMapped, UnknownPin) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".gate nand2 a=a c=b y=f\n";
+  expect_parse_error([&] { read_blif_mapped_string(text, lib(), "t.blif"); },
+                     "t.blif:4: cell 'nand2' has no pin 'c'");
+}
+
+TEST(ParseErrorsBlifMapped, MissingOutputBinding) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".gate nand2 a=a b=b\n";
+  expect_parse_error([&] { read_blif_mapped_string(text, lib(), "t.blif"); },
+                     "t.blif:4: missing output binding y=<net>");
+}
+
+TEST(ParseErrorsBlifMapped, MissingInputBinding) {
+  const std::string text =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs f\n"
+      ".gate nand2 a=a y=f\n";
+  expect_parse_error([&] { read_blif_mapped_string(text, lib(), "t.blif"); },
+                     "t.blif:4: missing binding for pin 'b'");
+}
+
+TEST(ParseErrorsBlifMapped, UndrivenPrimaryOutput) {
+  // A semantic (post-parse) failure: plain tr::Error, source-prefixed
+  // but without a line number.
+  const std::string text =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs f\n"
+      ".gate inv a=a y=g\n";
+  try {
+    read_blif_mapped_string(text, lib(), "t.blif");
+    FAIL() << "expected tr::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(ErrorCode::invalid_argument, e.code());
+    EXPECT_STREQ("t.blif: primary output 'f' is undriven", e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural Verilog
+
+Netlist parse_verilog(const std::string& text) {
+  std::istringstream in(text);
+  return read_verilog(lib(), in, "t.v");
+}
+
+TEST(ParseErrorsVerilog, ValidSkeletonParses) {
+  // The corpus below mutates this skeleton; it must itself be valid.
+  const Netlist nl = parse_verilog(
+      "module m (a, b, f);\n"
+      "  input a;\n"
+      "  input b;\n"
+      "  output f;\n"
+      "  nand2 g (.a(a), .b(b), .y(f));\n"
+      "endmodule\n");
+  EXPECT_EQ(nl.gate_count(), 1);
+}
+
+TEST(ParseErrorsVerilog, WrongLeadingKeyword) {
+  expect_parse_error([&] { parse_verilog("modul m ();\n"); },
+                     "t.v:1: expected 'module', got 'modul'");
+}
+
+TEST(ParseErrorsVerilog, TruncatedInput) {
+  expect_parse_error([&] { parse_verilog("module m\n"); },
+                     "t.v:1: expected '(', got end of input");
+}
+
+TEST(ParseErrorsVerilog, UnexpectedCharacter) {
+  expect_parse_error([&] { parse_verilog("module m @ ();\n"); },
+                     "t.v:1: unexpected character '@'");
+}
+
+TEST(ParseErrorsVerilog, UnterminatedBlockComment) {
+  expect_parse_error(
+      [&] { parse_verilog("module m ();\n/* never closed\n"); },
+      "t.v:2: unterminated /* comment");
+}
+
+TEST(ParseErrorsVerilog, NetDeclaredTwice) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, f);\n"
+        "  input a;\n"
+        "  input a;\n"
+        "  output f;\n"
+        "endmodule\n");
+  }, "t.v:3: net 'a' declared twice");
+}
+
+TEST(ParseErrorsVerilog, PortWithoutDeclaration) {
+  try {
+    parse_verilog(
+        "module m (a, f);\n"
+        "  output f;\n"
+        "endmodule\n");
+    FAIL() << "expected tr::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(ErrorCode::invalid_argument, e.code());
+    EXPECT_STREQ("t.v: port 'a' has no input/output declaration", e.what());
+  }
+}
+
+TEST(ParseErrorsVerilog, UnknownCell) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, f);\n"
+        "  input a;\n"
+        "  output f;\n"
+        "  xor9 g (.a(a), .y(f));\n"
+        "endmodule\n");
+  }, "t.v:4: unknown cell 'xor9'");
+}
+
+TEST(ParseErrorsVerilog, UndeclaredNet) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, f);\n"
+        "  input a;\n"
+        "  output f;\n"
+        "  inv g (.a(x), .y(f));\n"
+        "endmodule\n");
+  }, "t.v:4: undeclared net 'x'");
+}
+
+TEST(ParseErrorsVerilog, OutputPinConnectedTwice) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, f);\n"
+        "  input a;\n"
+        "  output f;\n"
+        "  inv g (.y(f), .a(a), .y(f));\n"
+        "endmodule\n");
+  }, "t.v:4: pin 'y' connected twice");
+}
+
+TEST(ParseErrorsVerilog, InputPinConnectedTwice) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, b, f);\n"
+        "  input a;\n"
+        "  input b;\n"
+        "  output f;\n"
+        "  nand2 g (.a(a), .a(b), .y(f));\n"
+        "endmodule\n");
+  }, "t.v:5: pin 'a' connected twice");
+}
+
+TEST(ParseErrorsVerilog, UnknownPin) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, b, f);\n"
+        "  input a;\n"
+        "  input b;\n"
+        "  output f;\n"
+        "  nand2 g (.a(a), .q(b), .y(f));\n"
+        "endmodule\n");
+  }, "t.v:5: cell 'nand2' has no pin 'q'");
+}
+
+TEST(ParseErrorsVerilog, MissingOutputConnection) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, f);\n"
+        "  input a;\n"
+        "  output f;\n"
+        "  wire w;\n"
+        "  inv g (.a(a));\n"
+        "endmodule\n");
+  }, "t.v:5: instance 'g' has no .y() output");
+}
+
+TEST(ParseErrorsVerilog, UnconnectedInputPin) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, f);\n"
+        "  input a;\n"
+        "  output f;\n"
+        "  nand2 g (.a(a), .y(f));\n"
+        "endmodule\n");
+  }, "t.v:4: instance 'g' leaves pin 'b' unconnected");
+}
+
+TEST(ParseErrorsVerilog, TrailingTokens) {
+  expect_parse_error([&] {
+    parse_verilog(
+        "module m (a, f);\n"
+        "  input a;\n"
+        "  output f;\n"
+        "  inv g (.a(a), .y(f));\n"
+        "endmodule\n"
+        "junk\n");
+  }, "t.v:6: unexpected trailing token 'junk'");
+}
+
+}  // namespace
+}  // namespace tr::netlist

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tr::util {
@@ -78,6 +79,70 @@ TEST(ThreadPool, PropagatesExceptions) {
     std::atomic<int> count{0};
     pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
     EXPECT_EQ(count.load(), 10);
+  }
+}
+
+TEST(ThreadPool, PreservesExceptionTypeAndMessage) {
+  // The fault-isolation layer classifies failures by tr::Error code, so
+  // the pool must rethrow the original exception object at the join —
+  // not a wrapper, not a stripped copy.
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    try {
+      pool.parallel_for(50, [](std::size_t i) {
+        if (i == 13) {
+          Error e("circuit exploded", ErrorCode::parse);
+          e.add_site("score");
+          throw e;
+        }
+      });
+      FAIL() << "expected tr::Error";
+    } catch (const Error& e) {
+      EXPECT_EQ(ErrorCode::parse, e.code());
+      EXPECT_STREQ("circuit exploded", e.what());
+      EXPECT_EQ("score", e.site_chain());
+    }
+  }
+}
+
+TEST(ThreadPool, SurvivesManyFailedJobs) {
+  // A long-lived pool (the batch driver's) must not leak state from a
+  // failed generation into the next: alternate failing and succeeding
+  // jobs on one pool.
+  ThreadPool pool(3);
+  for (int round = 0; round < 25; ++round) {
+    EXPECT_THROW(pool.parallel_for(40,
+                                   [&](std::size_t i) {
+                                     if (i == static_cast<std::size_t>(
+                                                  round % 40)) {
+                                       throw Error("round failure");
+                                     }
+                                   }),
+                 Error);
+    std::atomic<int> count{0};
+    pool.parallel_for(40, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 40) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ConcurrentThrowersPropagateExactlyOne) {
+  // Every index throws; exactly one exception reaches the caller and
+  // the rest are swallowed with their indices aborted.
+  for (int threads : {1, 4, 8}) {
+    ThreadPool pool(threads);
+    int caught = 0;
+    try {
+      pool.parallel_for(100, [](std::size_t i) {
+        throw Error("thrower " + std::to_string(i));
+      });
+    } catch (const Error&) {
+      ++caught;
+    }
+    EXPECT_EQ(caught, 1);
+    // And the pool still works afterwards.
+    std::atomic<int> count{0};
+    pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 16);
   }
 }
 

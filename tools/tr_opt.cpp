@@ -29,6 +29,14 @@
 //                        path within (1+F)x the original (reference
 //                        engine; default off)
 //   --restrict-instance  only same-layout-instance reorderings
+//   --keep-going         contain per-circuit failures as error records
+//                        and finish the rest (default)
+//   --fail-fast          abort the batch on the first circuit failure
+//   --deadline-ms F      cancel outstanding work F milliseconds after
+//                        the run starts; cancelled circuits report
+//                        status "cancelled" (all-or-nothing: a circuit
+//                        either finishes deterministically or carries
+//                        no numbers)
 //   --out DIR            write batch.json + one <circuit>.json per
 //                        circuit into DIR instead of stdout
 //   --no-timing          omit wall-clock fields (byte-stable output)
@@ -37,6 +45,15 @@
 // stdout carries exactly one JSON document (or nothing with --out);
 // progress and the human summary go to stderr. Every JSON field except
 // the wall-clock block is bit-identical across runs and --jobs values.
+//
+// Exit codes (README "Error handling"): 0 = every circuit ok; 1 = fatal
+// error (internal/unknown); 2 = usage; 3 = at least one circuit failed
+// (takes precedence over cancellation); 4 = circuits were cancelled but
+// none failed.
+//
+// TR_FAULT=site[:nth][:kind][@context] arms the deterministic
+// fault-injection harness (util/fault.hpp) for the whole run — the CI
+// recovery-path drills run this binary with a poisoned environment.
 
 #include <cstdint>
 #include <cstdlib>
@@ -56,7 +73,9 @@
 #include "netlist/verilog.hpp"
 #include "opt/batch.hpp"
 #include "opt/batch_report.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -72,7 +91,8 @@ int usage(const char* error) {
          "              [--threads-per-circuit N]\n"
          "              [--objective minimize|maximize]\n"
          "              [--model extended|output_only] [--delay-budget F]\n"
-         "              [--restrict-instance] [--out DIR] [--no-timing]\n"
+         "              [--restrict-instance] [--keep-going | --fail-fast]\n"
+         "              [--deadline-ms F] [--out DIR] [--no-timing]\n"
          "              [--no-gate-configs]\n"
          "circuits: BLIF/structural-Verilog files, embedded classics "
          "(c17, fulladder, cmp2, dec2to4),\n"
@@ -146,13 +166,16 @@ std::string sanitize_filename(const std::string& name) {
 long long parse_int(const std::string& flag, const std::string& text) {
   std::size_t consumed = 0;
   long long value = 0;
+  std::string detail;
   try {
     value = std::stoll(text, &consumed);
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     consumed = 0;
+    detail = std::string(": ") + e.what();
   }
   if (consumed != text.size() || text.empty()) {
-    std::exit(usage((flag + " expects an integer, got '" + text + "'").c_str()));
+    std::exit(usage((flag + " expects an integer, got '" + text + "'" +
+                     detail).c_str()));
   }
   return value;
 }
@@ -160,14 +183,16 @@ long long parse_int(const std::string& flag, const std::string& text) {
 std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
   std::size_t consumed = 0;
   std::uint64_t value = 0;
+  std::string detail;
   try {
     value = std::stoull(text, &consumed);
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     consumed = 0;
+    detail = std::string(": ") + e.what();
   }
   if (consumed != text.size() || text.empty() || text.front() == '-') {
-    std::exit(usage(
-        (flag + " expects a non-negative integer, got '" + text + "'").c_str()));
+    std::exit(usage((flag + " expects a non-negative integer, got '" + text +
+                     "'" + detail).c_str()));
   }
   return value;
 }
@@ -175,13 +200,16 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
 double parse_double(const std::string& flag, const std::string& text) {
   std::size_t consumed = 0;
   double value = 0.0;
+  std::string detail;
   try {
     value = std::stod(text, &consumed);
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     consumed = 0;
+    detail = std::string(": ") + e.what();
   }
   if (consumed != text.size() || text.empty()) {
-    std::exit(usage((flag + " expects a number, got '" + text + "'").c_str()));
+    std::exit(usage((flag + " expects a number, got '" + text + "'" +
+                     detail).c_str()));
   }
   return value;
 }
@@ -193,6 +221,7 @@ int main(int argc, char** argv) {
   char scenario = 'A';
   std::uint64_t seed = 1;
   std::string out_dir;
+  double deadline_ms = -1.0;
   opt::BatchOptions options;
   opt::BatchJsonOptions json;
 
@@ -255,6 +284,15 @@ int main(int argc, char** argv) {
           parse_double("--delay-budget", next("--delay-budget"));
     } else if (arg == "--restrict-instance") {
       options.opt.restrict_to_instance = true;
+    } else if (arg == "--keep-going") {
+      options.keep_going = true;
+    } else if (arg == "--fail-fast") {
+      options.keep_going = false;
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = parse_double("--deadline-ms", next("--deadline-ms"));
+      if (deadline_ms < 0.0) {
+        return usage("--deadline-ms expects a non-negative number");
+      }
     } else if (arg == "--out") {
       out_dir = next("--out");
     } else if (arg == "--no-timing") {
@@ -272,17 +310,32 @@ int main(int argc, char** argv) {
   if (circuit_specs.empty()) return usage("no circuits given");
 
   try {
+    // CI recovery drills poison the pipeline through the environment.
+    tr::util::fault::install_from_env();
+
     const celllib::CellLibrary library = celllib::CellLibrary::standard();
     const celllib::Tech tech;
 
     std::vector<opt::BatchCircuit> batch;
     batch.reserve(circuit_specs.size());
     for (const std::string& spec : circuit_specs) {
-      batch.push_back(opt::make_scenario_circuit(load_circuit(spec, library),
-                                                 scenario, seed));
+      batch.push_back(opt::make_scenario_circuit_guarded(
+          spec, scenario, seed, library,
+          [&] { return load_circuit(spec, library); }));
       const opt::BatchCircuit& circuit = batch.back();
-      std::cerr << "loaded " << circuit.name << ": "
-                << circuit.netlist.gate_count() << " gates\n";
+      if (circuit.load_error) {
+        std::cerr << "failed to load " << spec << ": "
+                  << circuit.load_error->message << "\n";
+      } else {
+        std::cerr << "loaded " << circuit.name << ": "
+                  << circuit.netlist.gate_count() << " gates\n";
+      }
+    }
+
+    // Armed after loading so --deadline-ms budgets the optimization
+    // itself, not suite generation.
+    if (deadline_ms >= 0.0) {
+      options.cancel = util::CancellationToken::with_deadline_ms(deadline_ms);
     }
 
     const opt::BatchOptimizer optimizer(library, tech, options);
@@ -317,7 +370,10 @@ int main(int argc, char** argv) {
       std::cerr << "reports written to " << out_dir << "/\n";
     }
 
-    std::cerr << "optimized " << report.circuits.size() << " circuits, "
+    std::cerr << "optimized " << report.circuits_ok << "/"
+              << report.circuits.size() << " circuits ("
+              << report.circuits_failed << " error, "
+              << report.circuits_cancelled << " cancelled), "
               << report.gates_total << " gates (" << report.gates_changed
               << " reordered): model power "
               << format_fixed(report.model_power_before * 1e6, 3) << " -> "
@@ -330,8 +386,24 @@ int main(int argc, char** argv) {
               << report.cache.hits << "/" << report.cache.lookups()
               << "), " << format_fixed(report.elapsed_ms, 1) << " ms on "
               << report.jobs << " jobs\n";
+
+    // Category exit codes: a circuit error beats cancellation — the
+    // caller must look at the report even when a deadline also fired.
+    if (report.circuits_failed > 0) return 3;
+    if (report.circuits_cancelled > 0) return 4;
   } catch (const Error& e) {
     std::cerr << "tr_opt: error: " << e.what() << "\n";
+    switch (e.code()) {
+      case ErrorCode::cancelled:
+        return 4;
+      case ErrorCode::internal:
+      case ErrorCode::unknown:
+        return 1;
+      default:
+        return 3;  // parse / invalid input / injected / resource
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "tr_opt: fatal: " << e.what() << "\n";
     return 1;
   }
   return 0;
