@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Server round-trip smoke (ISSUE 8): start `tr_opt --serve`, run the
+# classic suite through the framed client, diff the response
+# byte-for-byte against the serial batch CLI, then drain via SIGTERM and
+# check the drain-time metrics dump. Usage: server_smoke.sh <tr_opt>
+set -euo pipefail
+
+TR_OPT="$1"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$TR_OPT" --serve --port 0 --port-file "$WORK/port" \
+  > "$WORK/metrics.json" 2> "$WORK/server.log" &
+SERVER_PID=$!
+
+# The daemon writes its ephemeral port once the listener is bound.
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port" ] && break
+  if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+    echo "server exited before binding" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "server never wrote its port file" >&2; exit 1; }
+PORT="$(cat "$WORK/port")"
+
+# Same request served and batch-run must be byte-identical: the served
+# response omits timing and cache stats, so mirror that on the CLI.
+"$TR_OPT" --connect "127.0.0.1:$PORT" --suite classic --no-timing \
+  > "$WORK/served.json" 2> "$WORK/progress.log"
+"$TR_OPT" --suite classic --no-timing --no-cache-stats > "$WORK/serial.json"
+if ! diff "$WORK/served.json" "$WORK/serial.json"; then
+  echo "served response diverged from serial batch output" >&2
+  exit 1
+fi
+
+# Progress frames streamed for every circuit of the suite.
+PROGRESS_COUNT="$(grep -c '"type": "progress"' "$WORK/progress.log")"
+if [ "$PROGRESS_COUNT" -ne 4 ]; then
+  echo "expected 4 progress frames, saw $PROGRESS_COUNT" >&2
+  cat "$WORK/progress.log" >&2
+  exit 1
+fi
+
+# Graceful drain: SIGTERM stops the listener, finishes in-flight work
+# and flushes the metrics dump to stdout before exiting 0.
+kill -TERM "$SERVER_PID"
+WAIT_STATUS=0
+wait "$SERVER_PID" || WAIT_STATUS=$?
+SERVER_PID=""
+if [ "$WAIT_STATUS" -ne 0 ]; then
+  echo "server exited $WAIT_STATUS on SIGTERM drain" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+fi
+
+for want in '"generator": "tr_opt_server"' '"received": 1' '"ok": 1' \
+  '"catalog_cache"' '"evictions"'; do
+  if ! grep -qF "$want" "$WORK/metrics.json"; then
+    echo "metrics dump missing $want" >&2
+    cat "$WORK/metrics.json" >&2
+    exit 1
+  fi
+done
+
+echo "server smoke OK (port $PORT, $PROGRESS_COUNT progress frames)"

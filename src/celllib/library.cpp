@@ -11,10 +11,17 @@ namespace tr::celllib {
 
 using gategraph::SpNode;
 
+// Copies rebuild the catalog map by walking the copied recency list:
+// the stored recency iterators must point into the *new* list
+// (recency order is preserved, counters reset).
 CellLibrary::CellLibrary(const CellLibrary& rhs)
     : cells_(rhs.cells_), insertion_order_(rhs.insertion_order_) {
   const std::lock_guard<std::mutex> lock(rhs.catalog_mutex_);
-  catalogs_ = rhs.catalogs_;
+  lru_ = rhs.lru_;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    catalogs_.emplace(*it, CatalogEntry{rhs.catalogs_.at(*it).catalog, it});
+  }
+  catalog_capacity_ = rhs.catalog_capacity_;
 }
 
 CellLibrary& CellLibrary::operator=(const CellLibrary& rhs) {
@@ -22,21 +29,32 @@ CellLibrary& CellLibrary::operator=(const CellLibrary& rhs) {
   cells_ = rhs.cells_;
   insertion_order_ = rhs.insertion_order_;
   const std::lock_guard<std::mutex> lock(rhs.catalog_mutex_);
-  catalogs_ = rhs.catalogs_;
+  catalogs_.clear();
+  lru_ = rhs.lru_;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    catalogs_.emplace(*it, CatalogEntry{rhs.catalogs_.at(*it).catalog, it});
+  }
+  catalog_capacity_ = rhs.catalog_capacity_;
   cache_stats_ = {};  // counters describe this instance's lookup history
   return *this;
 }
 
+// Moving the std::list transfers its nodes, so the recency iterators
+// stored in the moved map stay valid — plain member moves suffice.
 CellLibrary::CellLibrary(CellLibrary&& rhs) noexcept
     : cells_(std::move(rhs.cells_)),
       insertion_order_(std::move(rhs.insertion_order_)),
-      catalogs_(std::move(rhs.catalogs_)) {}
+      catalogs_(std::move(rhs.catalogs_)),
+      lru_(std::move(rhs.lru_)),
+      catalog_capacity_(rhs.catalog_capacity_) {}
 
 CellLibrary& CellLibrary::operator=(CellLibrary&& rhs) noexcept {
   if (this == &rhs) return *this;
   cells_ = std::move(rhs.cells_);
   insertion_order_ = std::move(rhs.insertion_order_);
   catalogs_ = std::move(rhs.catalogs_);
+  lru_ = std::move(rhs.lru_);
+  catalog_capacity_ = rhs.catalog_capacity_;
   cache_stats_ = {};  // counters describe this instance's lookup history
   return *this;
 }
@@ -90,14 +108,40 @@ std::shared_ptr<const ReorderCatalog> CellLibrary::catalog(
     // characterise exactly once (the batch driver's cache-sharing
     // contract, DESIGN.md Sec. 9.2); later lookups wait and then hit.
     ++cache_stats_.misses;
+    lru_.push_front(key);
     it = catalogs_
-             .emplace(key, std::make_shared<const ReorderCatalog>(
-                               ReorderCatalog::build(start)))
+             .emplace(key, CatalogEntry{std::make_shared<const ReorderCatalog>(
+                                            ReorderCatalog::build(start)),
+                                        lru_.begin()})
              .first;
+    // The just-inserted entry sits at the recency front, so a capacity
+    // of >= 1 never evicts what this lookup is about to return.
+    evict_to_capacity_locked();
   } else {
     ++cache_stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
   }
-  return it->second;
+  return it->second.catalog;
+}
+
+void CellLibrary::evict_to_capacity_locked() const {
+  if (catalog_capacity_ == 0) return;
+  while (catalogs_.size() > catalog_capacity_) {
+    catalogs_.erase(lru_.back());
+    lru_.pop_back();
+    ++cache_stats_.evictions;
+  }
+}
+
+void CellLibrary::set_catalog_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  catalog_capacity_ = capacity;
+  evict_to_capacity_locked();
+}
+
+std::size_t CellLibrary::catalog_capacity() const {
+  const std::lock_guard<std::mutex> lock(catalog_mutex_);
+  return catalog_capacity_;
 }
 
 CatalogCacheStats CellLibrary::catalog_cache_stats() const {

@@ -6,6 +6,7 @@
 // family (documented in DESIGN.md Sec. 4.4).
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,12 +22,15 @@ class ReorderCatalog;
 
 /// Cumulative catalog-cache counters (see CellLibrary::catalog). A hit
 /// returns an already-built characterisation; a miss pays for one
-/// ReorderCatalog::build. Counts are monotone over the library's
-/// lifetime; batch consumers diff two snapshots to get per-run stats
-/// (opt::BatchOptimizer, DESIGN.md Sec. 9.2).
+/// ReorderCatalog::build; an eviction drops the least-recently-used
+/// catalog of a capacity-bounded cache (DESIGN.md Sec. 13.4). Counts
+/// are monotone over the library's lifetime; batch consumers diff two
+/// snapshots to get per-run stats (opt::BatchOptimizer, DESIGN.md
+/// Sec. 9.2), the server reports the process-lifetime totals at drain.
 struct CatalogCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
 
   std::uint64_t lookups() const noexcept { return hits + misses; }
   /// Hits per lookup in [0,1]; 0 when no lookups happened.
@@ -90,13 +94,41 @@ public:
   /// Number of distinct structural forms currently cached. Thread-safe.
   std::size_t cached_catalog_count() const;
 
+  /// Bounds the catalog cache to `capacity` entries, evicting the
+  /// least-recently-used catalogs immediately if it is already over.
+  /// 0 (the default) means unbounded — the batch driver's behaviour,
+  /// where the library itself bounds the number of structural forms.
+  /// A long-running server sets a finite capacity so an adversarial
+  /// request stream of novel forms cannot grow the process without
+  /// bound. Eviction only drops the cache entry; in-flight users keep
+  /// their catalogs alive through shared ownership, and a re-request
+  /// rebuilds deterministically (a miss, never a wrong answer).
+  /// Thread-safe.
+  void set_catalog_capacity(std::size_t capacity);
+
+  /// The current capacity bound; 0 = unbounded. Thread-safe.
+  std::size_t catalog_capacity() const;
+
 private:
+  struct CatalogEntry {
+    std::shared_ptr<const ReorderCatalog> catalog;
+    /// Position in lru_; kept valid by std::list's iterator stability.
+    std::list<std::string>::iterator lru;
+  };
+
+  /// Drops LRU entries until the cache fits the capacity bound. Caller
+  /// holds catalog_mutex_.
+  void evict_to_capacity_locked() const;
+
   std::map<std::string, Cell> cells_;
   std::vector<std::string> insertion_order_;
-  /// Lazily built reordering catalogs, keyed by stored structural form.
+  /// Lazily built reordering catalogs, keyed by stored structural form,
+  /// with an LRU recency list (front = most recent) for the optional
+  /// capacity bound.
   mutable std::mutex catalog_mutex_;
-  mutable std::map<std::string, std::shared_ptr<const ReorderCatalog>>
-      catalogs_;
+  mutable std::map<std::string, CatalogEntry> catalogs_;
+  mutable std::list<std::string> lru_;
+  mutable std::size_t catalog_capacity_ = 0;  ///< 0 = unbounded
   mutable CatalogCacheStats cache_stats_;
 };
 

@@ -97,6 +97,7 @@ BatchReport BatchOptimizer::run(std::vector<BatchCircuit>& batch) const {
         throw Error(circuit.name + ": " + circuit.load_error->message,
                     circuit.load_error->code);
       }
+      if (options_.progress) options_.progress(i, result);
       return;
     }
 
@@ -127,6 +128,7 @@ BatchReport BatchOptimizer::run(std::vector<BatchCircuit>& batch) const {
       result.critical_path_after =
           delay::circuit_delay(circuit.netlist, tech_).critical_path;
       result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
+      if (options_.progress) options_.progress(i, result);
     } catch (...) {
       circuit.netlist = std::move(snapshot);
       const CircuitError error = describe_current_exception();
@@ -140,6 +142,7 @@ BatchReport BatchOptimizer::run(std::vector<BatchCircuit>& batch) const {
       result.error = error;
       result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
       if (!options_.keep_going) throw;
+      if (options_.progress) options_.progress(i, result);
     }
   });
 
@@ -164,6 +167,7 @@ BatchReport BatchOptimizer::run(std::vector<BatchCircuit>& batch) const {
   const celllib::CatalogCacheStats after = library_->catalog_cache_stats();
   report.cache.hits = after.hits - before.hits;
   report.cache.misses = after.misses - before.misses;
+  report.cache.evictions = after.evictions - before.evictions;
   report.jobs = pool.thread_count();
   report.elapsed_ms = ms_between(batch_t0, std::chrono::steady_clock::now());
   return report;
@@ -189,7 +193,7 @@ BatchCircuit make_scenario_circuit(netlist::Netlist netlist, char scenario,
                                    std::uint64_t master_seed) {
   require(scenario == 'A' || scenario == 'B',
           "make_scenario_circuit: scenario must be 'A' or 'B'");
-  BatchCircuit circuit{netlist.name(), std::move(netlist), {}};
+  BatchCircuit circuit{netlist.name(), std::move(netlist), {}, {}};
   circuit.pi_stats =
       scenario == 'A'
           ? scenario_a(circuit.netlist,
@@ -209,7 +213,7 @@ BatchCircuit make_scenario_circuit_guarded(
       return make_scenario_circuit(loader(), scenario, master_seed);
     });
   } catch (...) {
-    BatchCircuit placeholder{name, netlist::Netlist(library, name), {}};
+    BatchCircuit placeholder{name, netlist::Netlist(library, name), {}, {}};
     placeholder.load_error = describe_current_exception();
     return placeholder;
   }

@@ -88,6 +88,8 @@ struct BatchCircuit {
   std::optional<CircuitError> load_error;
 };
 
+struct BatchCircuitResult;
+
 struct BatchOptions {
   /// Circuit-level workers; 0 = one per hardware thread, 1 = serial.
   int jobs = 0;
@@ -107,6 +109,14 @@ struct BatchOptions {
   /// CircuitStatus::cancelled; already-finished circuits keep their
   /// results.
   util::CancellationToken cancel;
+  /// Called once per circuit as it completes (ok, error or cancelled),
+  /// with the batch index and the finished result record — the server's
+  /// streaming-progress hook (DESIGN.md Sec. 13.2). Invoked from the
+  /// circuit's worker thread, so the callback must be thread-safe;
+  /// completion *order* is scheduling-dependent and explicitly outside
+  /// the determinism contract (the assembled report is not). With
+  /// fail-fast, a circuit that rethrows reports no progress.
+  std::function<void(std::size_t, const BatchCircuitResult&)> progress;
 };
 
 /// Per-circuit outcome, in batch input order. For a non-ok circuit only

@@ -204,8 +204,10 @@ void write_batch_json(const std::vector<BatchCircuit>& batch,
                             report.model_power_after));
   w.end_object();
 
-  w.key("catalog_cache");
-  write_cache_object(w, report.cache);
+  if (json.include_cache_stats) {
+    w.key("catalog_cache");
+    write_cache_object(w, report.cache);
+  }
 
   if (json.include_timing) {
     w.key("timing");

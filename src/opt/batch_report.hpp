@@ -21,6 +21,13 @@ struct BatchJsonOptions {
   /// Emit the per-gate configuration arrays (committed reorderings of
   /// every changed gate). Off shrinks reports for very large batches.
   bool include_gate_configs = true;
+  /// Emit the catalog_cache block. The batch CLI keeps it on; server
+  /// responses turn it off because hit/miss deltas against a shared warm
+  /// cache depend on what other requests ran concurrently — the one
+  /// field that would break the byte-identical-to-a-serial-run contract
+  /// (DESIGN.md Sec. 13.3). The server reports cumulative cache
+  /// counters in its drain-time metrics dump instead.
+  bool include_cache_stats = true;
 };
 
 /// Writes the whole-batch JSON document. `batch` must be the vector the

@@ -1,0 +1,37 @@
+#pragma once
+// Circuit-spec resolution shared by the tr_opt CLI and the optimization
+// server (DESIGN.md Sec. 9.1, Sec. 13.2): one string names an embedded
+// classic, a generated suite entry, or a BLIF/Verilog file on disk, and
+// loads into a netlist mapped onto the given library. Extracted from
+// tools/tr_opt.cpp so the server's request executor resolves specs with
+// byte-identical semantics to the batch CLI.
+
+#include <string>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tr::opt {
+
+/// The circuit specs of a named suite in suite order; throws tr::Error
+/// for an unknown suite name. Known suites: classic, table3, scaled.
+std::vector<std::string> suite_circuit_specs(const std::string& suite);
+
+/// True when `spec` names an embedded classic or a generated suite
+/// entry — the specs a network server is willing to serve (file-path
+/// specs stay CLI-only; the daemon does not read request-named files).
+bool is_embedded_spec(const std::string& spec);
+
+/// Loads one circuit spec:
+///   * an embedded classic (benchgen::classic_names) is parsed from its
+///     embedded BLIF and mapped onto `library`;
+///   * a table3/scaled suite entry is generated on the fly;
+///   * a `.blif` file is read as mapped (.gate) or generic (.names,
+///     through the technology mapper) BLIF;
+///   * a `.v` file is read as structural Verilog (the writer's subset).
+/// Anything else throws tr::Error.
+netlist::Netlist load_circuit_spec(const std::string& spec,
+                                   const celllib::CellLibrary& library);
+
+}  // namespace tr::opt

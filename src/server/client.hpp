@@ -1,0 +1,40 @@
+#pragma once
+// Blocking client for the optimization daemon (DESIGN.md Sec. 13.1):
+// one connection per request, used by `tr_opt --connect`, the smoke
+// suite and the determinism hammer test. The client is deliberately
+// dumb — it frames the request, streams progress to a callback and
+// hands back the terminal payload verbatim, so byte-level comparisons
+// against serial tr_opt output see exactly what travelled the wire.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace tr::server {
+
+struct ClientResult {
+  /// kFrameResponse or kFrameError.
+  char type = 0;
+  /// The terminal payload, byte-for-byte as received.
+  std::string payload;
+  /// Progress payloads in arrival order.
+  std::vector<std::string> progress;
+};
+
+/// Connects to host:port; throws tr::Error on failure. Returns the fd.
+int connect_tcp(const std::string& host, int port);
+
+/// Sends one request document and blocks until the terminal frame.
+/// `on_progress` (optional) sees each progress payload as it arrives.
+/// Throws tr::Error on connect/framing failures or a premature close.
+ClientResult run_request(
+    const std::string& host, int port, const std::string& request_json,
+    const std::function<void(const std::string&)>& on_progress = {});
+
+/// Asks the daemon to drain. Returns once the shutdown is acknowledged;
+/// throws on connect failure, returns false if the ack never arrived.
+bool send_shutdown(const std::string& host, int port);
+
+}  // namespace tr::server

@@ -1,0 +1,150 @@
+#include "server/protocol.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tr::server {
+
+namespace {
+
+// Poll slice between interrupt checks. Short enough that a drain stops
+// an idle read promptly, long enough that waiting costs no real CPU.
+constexpr int kPollSliceMs = 100;
+
+/// Reads exactly `n` bytes into `out`. Returns the byte count actually
+/// read: n on success, less on EOF/interrupt/error, with `result` set
+/// to the reason when short.
+std::size_t read_exact(int fd, char* out, std::size_t n,
+                       const std::function<bool()>& interrupted,
+                       ReadResult& result) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (interrupted && interrupted()) {
+      result = ReadResult::interrupted;
+      return got;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      result = ReadResult::io_error;
+      return got;
+    }
+    if (ready == 0) continue;  // slice elapsed; re-check interrupt
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      result = ReadResult::closed;  // caller refines to truncated_*
+      return got;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    result = ReadResult::io_error;
+    return got;
+  }
+  result = ReadResult::ok;
+  return got;
+}
+
+}  // namespace
+
+std::string read_result_message(ReadResult result, const Frame& frame,
+                                std::size_t max_payload) {
+  switch (result) {
+    case ReadResult::ok:
+      return "";
+    case ReadResult::closed:
+      return "wire: connection closed";
+    case ReadResult::truncated_header:
+      return "wire: truncated frame header";
+    case ReadResult::truncated_payload:
+      return "wire: truncated frame payload (got " +
+             std::to_string(frame.payload.size()) + " of " +
+             std::to_string(frame.declared_length) + " bytes)";
+    case ReadResult::oversized:
+      return "wire: frame length " + std::to_string(frame.declared_length) +
+             " exceeds limit of " + std::to_string(max_payload) + " bytes";
+    case ReadResult::interrupted:
+      return "wire: read interrupted";
+    case ReadResult::io_error:
+      return "wire: read failed";
+  }
+  return "wire: unknown read result";
+}
+
+ReadResult read_frame(int fd, Frame& frame, std::size_t max_payload,
+                      const std::function<bool()>& interrupted) {
+  frame.type = 0;
+  frame.payload.clear();
+  frame.declared_length = 0;
+
+  char header[5];
+  ReadResult result = ReadResult::ok;
+  const std::size_t header_got =
+      read_exact(fd, header, sizeof(header), interrupted, result);
+  if (result != ReadResult::ok) {
+    if (result == ReadResult::closed && header_got > 0) {
+      return ReadResult::truncated_header;
+    }
+    return result;  // closed (clean EOF), interrupted, io_error
+  }
+
+  std::uint32_t length = 0;
+  // Little-endian, assembled byte-by-byte so the wire format does not
+  // depend on host endianness.
+  for (int i = 3; i >= 0; --i) {
+    length = (length << 8) | static_cast<unsigned char>(header[i]);
+  }
+  frame.type = header[4];
+  frame.declared_length = length;
+
+  if (length > max_payload) return ReadResult::oversized;
+
+  frame.payload.resize(length);
+  if (length > 0) {
+    const std::size_t payload_got =
+        read_exact(fd, frame.payload.data(), length, interrupted, result);
+    if (result != ReadResult::ok) {
+      frame.payload.resize(payload_got);
+      if (result == ReadResult::closed) return ReadResult::truncated_payload;
+      return result;
+    }
+  }
+  return ReadResult::ok;
+}
+
+bool write_frame(int fd, char type, std::string_view payload) noexcept {
+  char header[5];
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<char>(length & 0xff);
+  header[1] = static_cast<char>((length >> 8) & 0xff);
+  header[2] = static_cast<char>((length >> 16) & 0xff);
+  header[3] = static_cast<char>((length >> 24) & 0xff);
+  header[4] = type;
+
+  const char* chunks[2] = {header, payload.data()};
+  std::size_t sizes[2] = {sizeof(header), payload.size()};
+  for (int part = 0; part < 2; ++part) {
+    const char* data = chunks[part];
+    std::size_t remaining = sizes[part];
+    while (remaining > 0) {
+      const ssize_t sent = ::send(fd, data, remaining, MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        return false;  // EPIPE and friends: peer is gone, caller handles
+      }
+      data += sent;
+      remaining -= static_cast<std::size_t>(sent);
+    }
+  }
+  return true;
+}
+
+}  // namespace tr::server

@@ -1,0 +1,86 @@
+#pragma once
+// Wire protocol of the optimization server (DESIGN.md Sec. 13.1).
+//
+// Frames are length-prefixed so a stream socket carries a clean message
+// sequence with zero parsing ambiguity:
+//
+//   frame := length:u32-LE | type:u8 | payload[length]
+//
+// The length counts payload bytes only (the 5-byte header is fixed).
+// Types are printable ASCII so captures read at a glance:
+//
+//   client -> server:  'Q' request (JSON, Sec. 13.2)   'S' shutdown
+//   server -> client:  'P' progress (JSON)  'R' response (batch JSON)
+//                      'E' error (JSON)     'B' shutdown acknowledged
+//
+// A connection carries one request: the client sends 'Q', reads zero or
+// more 'P' frames, then exactly one 'R' or 'E', and the server closes.
+// 'S' asks the daemon to drain (stop accepting, finish in-flight,
+// flush metrics); it is acknowledged with an empty 'B'.
+//
+// Every send uses MSG_NOSIGNAL: a client that disconnected mid-stream
+// must surface as a write error the server can handle, never as a
+// process-killing SIGPIPE (ISSUE 8 satellite). Reads poll with a short
+// timeout and an interrupt predicate so a drain can abort a read from
+// an idle client that never sends a frame.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace tr::server {
+
+/// Frame type bytes (see the table above).
+inline constexpr char kFrameRequest = 'Q';
+inline constexpr char kFrameShutdown = 'S';
+inline constexpr char kFrameProgress = 'P';
+inline constexpr char kFrameResponse = 'R';
+inline constexpr char kFrameError = 'E';
+inline constexpr char kFrameShutdownAck = 'B';
+
+/// Default bound on an incoming frame's payload (16 MiB): a request is
+/// a small JSON document, so anything near the bound is garbage or an
+/// attack, and rejecting it early keeps one client from ballooning the
+/// daemon's memory.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+struct Frame {
+  char type = 0;
+  std::string payload;
+  /// Payload length declared by the header. On a truncated or oversized
+  /// read, payload holds fewer bytes than this.
+  std::uint32_t declared_length = 0;
+};
+
+/// Outcome of read_frame. The error variants map onto the structured
+/// error responses of the malformed-frame corpus (DESIGN.md Sec. 13.5).
+enum class ReadResult : std::uint8_t {
+  ok,                 ///< frame filled
+  closed,             ///< clean EOF before any header byte
+  truncated_header,   ///< EOF inside the 5-byte header
+  truncated_payload,  ///< EOF inside the payload
+  oversized,          ///< declared length exceeds max_payload
+  interrupted,        ///< the interrupt predicate fired mid-wait
+  io_error,           ///< recv failed (connection reset, ...)
+};
+
+/// Human-readable detail for a non-ok ReadResult ("wire: ..."), stable
+/// strings pinned by the corpus tests.
+std::string read_result_message(ReadResult result, const Frame& frame,
+                                std::size_t max_payload);
+
+/// Reads one frame, blocking in short poll slices. `interrupted` (when
+/// set) is checked between slices; returning true aborts the read.
+/// On `oversized` the declared length is left in frame.payload's size
+/// field only conceptually — the payload is NOT read, and the caller
+/// must treat the stream as unsynchronised and close it.
+ReadResult read_frame(int fd, Frame& frame, std::size_t max_payload,
+                      const std::function<bool()>& interrupted = {});
+
+/// Writes one frame (MSG_NOSIGNAL, full payload). False on any send
+/// failure — the caller treats the peer as disconnected.
+bool write_frame(int fd, char type, std::string_view payload) noexcept;
+
+}  // namespace tr::server

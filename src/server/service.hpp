@@ -1,0 +1,142 @@
+#pragma once
+// Optimization service: the daemon's execution core (DESIGN.md
+// Sec. 13.3, 13.4). Owns the process-lifetime CellLibrary — the warm
+// reordering-catalog cache every request shares — plus a fixed pool of
+// executor threads fed by a bounded priority queue (admission control).
+//
+// The transport layer (server.hpp) submits raw request payloads with a
+// Sink to stream results back; the service parses, admits or rejects,
+// executes, and classifies the outcome into its cumulative metrics.
+// Keeping the service transport-free makes the whole execution path —
+// admission, priorities, cancellation, containment, determinism —
+// testable in-process without a socket.
+//
+// Determinism under concurrency: a response is a pure function of
+// (request bytes, seed). Everything concurrency-dependent is excluded
+// from response JSON (include_timing and include_cache_stats off); the
+// shared cache only memoizes pure per-cell catalogs, so a warm or cold
+// cache changes speed, never bytes. The hammer test pins this contract
+// against serial tr_opt output.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "celllib/tech.hpp"
+#include "server/request.hpp"
+#include "util/cancel.hpp"
+
+namespace tr::server {
+
+/// Streaming result consumer for one request. Methods are called from
+/// executor threads; implementations must be thread-safe with respect
+/// to their own state. Write failures are the sink's business (the
+/// socket sink latches a dead flag its connection monitor polls) —
+/// the service keeps executing until the request's token cancels.
+class Sink {
+public:
+  virtual ~Sink() = default;
+  /// One per-circuit completion frame payload (render_progress).
+  virtual void on_progress(const std::string& payload) = 0;
+  /// The final batch JSON document; terminal.
+  virtual void on_response(const std::string& payload) = 0;
+  /// A structured error payload (render_error); terminal.
+  virtual void on_error(const std::string& payload) = 0;
+};
+
+struct ServiceConfig {
+  /// Executor threads = maximum concurrently running requests.
+  int workers = 2;
+  /// Maximum queued (admitted, not yet running) requests; submissions
+  /// beyond it are rejected with a resource error, not buffered —
+  /// back-pressure must reach the client, not grow the heap.
+  std::size_t max_queue = 64;
+  /// Catalog cache bound for the shared library; 0 = unbounded.
+  std::size_t catalog_capacity = 0;
+};
+
+/// Cumulative counters reported in the drain-time metrics dump.
+struct ServiceMetrics {
+  std::uint64_t received = 0;   ///< submissions, valid or not
+  std::uint64_t ok = 0;         ///< every circuit ok
+  std::uint64_t error = 0;      ///< >= 1 circuit failed, or fatal error
+  std::uint64_t cancelled = 0;  ///< cancelled, none failed
+  std::uint64_t rejected = 0;   ///< admission refused (full / draining)
+  std::uint64_t invalid = 0;    ///< unparseable / schema-violating
+  celllib::CatalogCacheStats cache;  ///< shared-library lifetime totals
+  std::size_t cached_catalogs = 0;   ///< resident entries at sample time
+};
+
+class OptimizeService {
+public:
+  explicit OptimizeService(ServiceConfig config = {});
+  /// Joins the executors; pending queue entries are rejected first.
+  ~OptimizeService();
+
+  OptimizeService(const OptimizeService&) = delete;
+  OptimizeService& operator=(const OptimizeService&) = delete;
+
+  /// Parses and admits one request. On success returns the request's
+  /// cancellation token — the transport cancels it when the client
+  /// disconnects — and the sink will later receive progress frames and
+  /// exactly one terminal on_response/on_error. On failure (bad JSON,
+  /// schema violation, queue full, draining) the terminal on_error is
+  /// delivered synchronously and an inert token is returned.
+  ///
+  /// `sink` must stay alive until its terminal call returns; the socket
+  /// server guarantees this by keeping the connection object alive
+  /// until the executor is done with it.
+  util::CancellationToken submit(const std::string& request_json,
+                                 const std::shared_ptr<Sink>& sink);
+
+  /// Graceful drain: stop admitting, finish everything in flight and
+  /// queued-before-drain, then return. Idempotent.
+  void drain();
+
+  /// Snapshot of the cumulative counters plus current cache state.
+  ServiceMetrics metrics() const;
+
+  /// The drain-time metrics dump (one JSON document; DESIGN.md
+  /// Sec. 13.4) — the home of the cross-request cache hit rate and
+  /// eviction counters excluded from per-response JSON.
+  void write_metrics_json(std::ostream& out) const;
+
+  const celllib::CellLibrary& library() const noexcept { return library_; }
+
+private:
+  struct Job {
+    OptimizeRequest request;
+    std::shared_ptr<Sink> sink;
+    util::CancellationToken cancel;
+  };
+
+  void executor_loop();
+  void execute(Job& job) noexcept;
+  void classify_outcome(const opt::BatchReport& report);
+
+  ServiceConfig config_;
+  celllib::CellLibrary library_;
+  celllib::Tech tech_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< executors wait for work
+  std::condition_variable idle_cv_;   ///< drain waits for quiescence
+  /// Admitted-but-not-running jobs, keyed {-priority, sequence}: the
+  /// map's smallest key is the highest priority, FIFO within a level.
+  std::map<std::pair<int, std::uint64_t>, Job> queue_;
+  std::uint64_t next_sequence_ = 0;
+  int running_ = 0;
+  bool draining_ = false;  ///< no further admissions
+  bool stopping_ = false;  ///< executors exit once the queue is empty
+  ServiceMetrics counters_;  ///< cache fields filled at snapshot time
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace tr::server

@@ -1,5 +1,7 @@
 #include "util/cancel.hpp"
 
+#include <cmath>
+
 namespace tr::util {
 
 CancellationToken CancellationToken::cancellable() {
@@ -9,6 +11,14 @@ CancellationToken CancellationToken::cancellable() {
 }
 
 CancellationToken CancellationToken::with_deadline_ms(double ms) {
+  // A NaN deadline would never latch (every clock comparison is false)
+  // and an infinite one silently degrades to "no deadline" — both are
+  // caller bugs, so fail loudly instead of arming a token that can
+  // never fire (ISSUE 8: a daemon must not accept a deadline it cannot
+  // enforce).
+  require(std::isfinite(ms),
+          "CancellationToken: deadline must be finite, got " +
+              std::to_string(ms) + " ms");
   CancellationToken token = cancellable();
   token.state_->has_deadline = true;
   token.state_->deadline =

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -107,6 +109,26 @@ TEST(CancellationToken, DeadlineLatches) {
   const CancellationToken soon = CancellationToken::with_deadline_ms(1.0);
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   EXPECT_TRUE(soon.should_cancel());
+}
+
+TEST(CancellationToken, NonFiniteDeadlineIsRejected) {
+  // A NaN deadline would silently latch "always expired" (NaN
+  // comparisons are false, so the arithmetic lands wherever the
+  // implementation happens to put it); an infinite one degrades to "no
+  // deadline". Both are caller bugs the constructor refuses to arm.
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {std::nan(""), inf, -inf}) {
+    try {
+      CancellationToken::with_deadline_ms(bad);
+      FAIL() << "expected rejection of deadline " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(ErrorCode::invalid_argument, e.code());
+      EXPECT_NE(std::string(e.what()).find(
+                    "CancellationToken: deadline must be finite, got "),
+                std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "celllib/catalog.hpp"
 #include "celllib/library.hpp"
 #include "util/error.hpp"
 
@@ -156,6 +157,87 @@ TEST(CellLibrary, EnergyPerTransitionConvention) {
   Tech tech;
   tech.vdd = 5.0;
   EXPECT_DOUBLE_EQ(tech.energy_per_transition(2e-15), 0.5 * 2e-15 * 25.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded catalog cache (ISSUE 8): the server keeps one process-lifetime
+// library, so the reorder-catalog cache needs a capacity bound with LRU
+// eviction and counters a drain-time metrics dump can report.
+
+TEST(CellLibraryCatalogCache, UnboundedByDefaultAndCountsHits) {
+  CellLibrary lib = CellLibrary::standard();
+  EXPECT_EQ(lib.catalog_capacity(), 0u);  // 0 = unbounded
+  EXPECT_EQ(lib.cached_catalog_count(), 0u);
+
+  const auto first = lib.catalog(lib.cell("nand2").topology());
+  const auto again = lib.catalog(lib.cell("nand2").topology());
+  EXPECT_EQ(first.get(), again.get());  // same shared catalog instance
+
+  const CatalogCacheStats stats = lib.catalog_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.lookups(), 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+  EXPECT_EQ(lib.cached_catalog_count(), 1u);
+}
+
+TEST(CellLibraryCatalogCache, EvictsLeastRecentlyUsedAtCapacity) {
+  CellLibrary lib = CellLibrary::standard();
+  lib.set_catalog_capacity(2);
+  EXPECT_EQ(lib.catalog_capacity(), 2u);
+
+  lib.catalog(lib.cell("nand2").topology());  // miss; cache {nand2}
+  lib.catalog(lib.cell("nor2").topology());   // miss; cache {nor2, nand2}
+  lib.catalog(lib.cell("nand2").topology());  // hit; nand2 becomes MRU
+
+  // A third distinct form must evict nor2 (the LRU), not nand2.
+  lib.catalog(lib.cell("nand3").topology());  // miss; evicts nor2
+  EXPECT_EQ(lib.cached_catalog_count(), 2u);
+  CatalogCacheStats stats = lib.catalog_cache_stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // nor2 was evicted: asking again re-misses (and evicts nand2, which
+  // became LRU once nand3 was inserted)...
+  lib.catalog(lib.cell("nor2").topology());
+  stats = lib.catalog_cache_stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  // ...while nand3, the recently used survivor, still hits.
+  lib.catalog(lib.cell("nand3").topology());
+  EXPECT_EQ(lib.catalog_cache_stats().hits, 2u);
+  EXPECT_EQ(lib.cached_catalog_count(), 2u);
+}
+
+TEST(CellLibraryCatalogCache, EvictedCatalogStaysUsableViaSharedOwnership) {
+  CellLibrary lib = CellLibrary::standard();
+  lib.set_catalog_capacity(1);
+  const auto held = lib.catalog(lib.cell("nand2").topology());
+  lib.catalog(lib.cell("nor2").topology());  // evicts nand2 from the cache
+  EXPECT_EQ(lib.catalog_cache_stats().evictions, 1u);
+  // The shared_ptr the caller holds outlives the cache entry; a rebuild
+  // after the eviction produces an equivalent (but distinct) catalog.
+  ASSERT_NE(held, nullptr);
+  const auto rebuilt = lib.catalog(lib.cell("nand2").topology());
+  EXPECT_NE(held.get(), rebuilt.get());
+  EXPECT_EQ(held->configs().size(), rebuilt->configs().size());
+}
+
+TEST(CellLibraryCatalogCache, ShrinkingCapacityEvictsImmediately) {
+  CellLibrary lib = CellLibrary::standard();
+  lib.catalog(lib.cell("nand2").topology());
+  lib.catalog(lib.cell("nor2").topology());
+  lib.catalog(lib.cell("nand3").topology());
+  EXPECT_EQ(lib.cached_catalog_count(), 3u);
+
+  lib.set_catalog_capacity(1);  // trims to the single most recent entry
+  EXPECT_EQ(lib.cached_catalog_count(), 1u);
+  EXPECT_EQ(lib.catalog_cache_stats().evictions, 2u);
+  // The survivor is the MRU form, nand3.
+  lib.catalog(lib.cell("nand3").topology());
+  EXPECT_EQ(lib.catalog_cache_stats().hits, 1u);
 }
 
 }  // namespace

@@ -79,12 +79,12 @@ TEST(FaultRegistry, ContainsEveryPipelineSite) {
   for (const char* site :
        {"parse.blif", "parse.blif_mapped", "parse.verilog",
         "celllib.characterize", "opt.score", "sim.replicate",
-        "batch.circuit"}) {
+        "batch.circuit", "server.request"}) {
     EXPECT_NE(std::find(registry.begin(), registry.end(), site),
               registry.end())
         << site;
   }
-  EXPECT_EQ(registry.size(), 7u);
+  EXPECT_EQ(registry.size(), 8u);
 }
 
 TEST(FaultRegistry, ArmingUnknownSiteThrows) {

@@ -1,0 +1,204 @@
+// Strict JSON parser unit tests (ISSUE 8): the parser is the server's
+// request boundary, so both the accepted language (RFC 8259, exact
+// integer preservation) and the rejected one (duplicate keys, leading
+// zeros, deep nesting, trailing content) are contract. Diagnostics are
+// pinned in the test_parse_errors style: exact "json: offset N: ..."
+// strings, byte offsets included.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace tr::util {
+namespace {
+
+/// Requires json_parse(text) to throw Error{parse} whose what() is
+/// exactly `expected`.
+void expect_json_error(const std::string& text, const std::string& expected) {
+  try {
+    json_parse(text);
+    FAIL() << "expected parse error: " << expected;
+  } catch (const Error& e) {
+    EXPECT_EQ(ErrorCode::parse, e.code());
+    EXPECT_STREQ(expected.c_str(), e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accepted language
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool("v"));
+  EXPECT_FALSE(json_parse("false").as_bool("v"));
+  EXPECT_EQ(json_parse("\"hi\"").as_string("v"), "hi");
+  EXPECT_DOUBLE_EQ(json_parse("1.5").as_double("v"), 1.5);
+  EXPECT_DOUBLE_EQ(json_parse("-2.75e-7").as_double("v"), -2.75e-7);
+}
+
+TEST(JsonParse, IntegersArePreservedExactly) {
+  // Integral lexemes keep exact 64-bit views next to the double — a
+  // seed of 2^63 must not round through a double on the way in.
+  const JsonValue max_i64 = json_parse("9223372036854775807");
+  EXPECT_EQ(max_i64.as_i64("v"), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(max_i64.as_u64("v"), 9223372036854775807ull);
+
+  const JsonValue max_u64 = json_parse("18446744073709551615");
+  EXPECT_EQ(max_u64.as_u64("v"), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_THROW(max_u64.as_i64("v"), Error);  // does not fit signed
+
+  const JsonValue negative = json_parse("-1");
+  EXPECT_EQ(negative.as_i64("v"), -1);
+  EXPECT_THROW(negative.as_u64("v"), Error);
+
+  // A fractional or exponent form is a number but never an "integer",
+  // even when its value happens to be integral.
+  const JsonValue fractional = json_parse("1.0");
+  EXPECT_DOUBLE_EQ(fractional.as_double("v"), 1.0);
+  EXPECT_THROW(fractional.as_i64("v"), Error);
+  EXPECT_THROW(fractional.as_u64("v"), Error);
+}
+
+TEST(JsonParse, ObjectsKeepOrderAndSupportFind) {
+  const JsonValue doc = json_parse(R"({"b": 1, "a": {"x": [1, 2, 3]}})");
+  ASSERT_EQ(doc.kind, JsonValue::Kind::object);
+  ASSERT_EQ(doc.object.size(), 2u);
+  EXPECT_EQ(doc.object[0].first, "b");  // document order, not sorted
+  EXPECT_EQ(doc.object[1].first, "a");
+
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* x = a->find("x");
+  ASSERT_NE(x, nullptr);
+  ASSERT_EQ(x->array.size(), 3u);
+  EXPECT_EQ(x->array[2].as_i64("v"), 3);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, EmptyContainersAndWhitespace) {
+  EXPECT_EQ(json_parse(" { } ").object.size(), 0u);
+  EXPECT_EQ(json_parse("\n[\t]\r\n").array.size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\/d\n\t")").as_string("v"), "a\"b\\c/d\n\t");
+  EXPECT_EQ(json_parse(R"("Aé")").as_string("v"), "A\xC3\xA9");
+  // Surrogate pair: U+1F600 as UTF-8.
+  EXPECT_EQ(json_parse(R"("😀")").as_string("v"),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  // The writer and parser are two halves of one wire: whatever the
+  // server writes, a client built on the same parser reads back.
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("name");
+  w.value("c17 \"quoted\"");
+  w.key("power");
+  w.value(1.4874833205017656e-06);
+  w.key("gates");
+  w.value(std::int64_t{6});
+  w.key("entries");
+  w.begin_array();
+  w.value(true);
+  w.null_value();
+  w.end_array();
+  w.end_object();
+
+  const JsonValue doc = json_parse(out.str());
+  EXPECT_EQ(doc.find("name")->as_string("name"), "c17 \"quoted\"");
+  EXPECT_DOUBLE_EQ(doc.find("power")->as_double("power"),
+                   1.4874833205017656e-06);
+  EXPECT_EQ(doc.find("gates")->as_i64("gates"), 6);
+  EXPECT_TRUE(doc.find("entries")->array[0].as_bool("v"));
+  EXPECT_TRUE(doc.find("entries")->array[1].is_null());
+}
+
+// ---------------------------------------------------------------------------
+// Rejected language, diagnostics pinned exactly
+
+TEST(JsonParse, RejectsEmptyAndTruncatedInput) {
+  expect_json_error("", "json: offset 0: unexpected end of input");
+  expect_json_error("   ", "json: offset 3: unexpected end of input");
+  expect_json_error("{\"a\": 1", "json: offset 7: unexpected end of input");
+  expect_json_error("[1, 2", "json: offset 5: unexpected end of input");
+  expect_json_error("\"abc", "json: offset 4: unterminated string");
+}
+
+TEST(JsonParse, RejectsTrailingContent) {
+  expect_json_error("1 2",
+                    "json: offset 2: trailing content after JSON document");
+  expect_json_error("{} {}",
+                    "json: offset 3: trailing content after JSON document");
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  // RFC 8259 leaves duplicate-key behaviour undefined; a strict request
+  // boundary must not let {"seed":1,"seed":2} mean either one silently.
+  expect_json_error(R"({"a":1,"a":2})",
+                    "json: offset 10: duplicate object key 'a'");
+}
+
+TEST(JsonParse, RejectsMalformedNumbers) {
+  expect_json_error("01", "json: offset 0: invalid number (leading zero)");
+  expect_json_error("-", "json: offset 0: invalid number");
+  expect_json_error("1.", "json: offset 2: invalid number (missing fraction digits)");
+  expect_json_error("1e", "json: offset 2: invalid number (missing exponent digits)");
+  expect_json_error("1e999", "json: offset 5: number out of double range");
+  // JSON has no non-finite literals: NaN/Infinity are not values.
+  expect_json_error("NaN", "json: offset 0: expected a JSON value");
+  expect_json_error("Infinity", "json: offset 0: expected a JSON value");
+  expect_json_error("-Infinity", "json: offset 0: invalid number");
+}
+
+TEST(JsonParse, RejectsMalformedStructure) {
+  expect_json_error("[1,]", "json: offset 3: expected a JSON value");
+  expect_json_error("{1: 2}",
+                    "json: offset 1: expected an object key string");
+  expect_json_error("[1 2]", "json: offset 4: expected ',' or ']' in array");
+  expect_json_error(R"({"a" 1})", "json: offset 5: expected ':', got '1'");
+}
+
+TEST(JsonParse, RejectsBadEscapesAndControlCharacters) {
+  expect_json_error(R"("\q")", "json: offset 3: invalid escape sequence");
+  expect_json_error(R"("\uZZZZ")",
+                    "json: offset 4: invalid hex digit in \\u escape");
+  expect_json_error(R"("\ud83d")",
+                    "json: offset 7: unpaired UTF-16 surrogate in \\u escape");
+  expect_json_error(std::string("\"a\nb\""),
+                    "json: offset 2: unescaped control character in string");
+}
+
+TEST(JsonParse, RejectsDeepNesting) {
+  // 64 levels parse; 65 hit the depth cap (stack-overflow guard for
+  // hostile request payloads).
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  EXPECT_EQ(json_parse(ok).kind, JsonValue::Kind::array);
+
+  std::string deep(65, '[');
+  deep += std::string(65, ']');
+  expect_json_error(deep,
+                    "json: offset 64: document nested deeper than 64 levels");
+}
+
+TEST(JsonParse, AccessorsNameTheFieldInDiagnostics) {
+  const JsonValue doc = json_parse(R"({"seed": "one"})");
+  try {
+    doc.find("seed")->as_u64("seed");
+    FAIL() << "expected type error";
+  } catch (const Error& e) {
+    EXPECT_STREQ("seed must be a non-negative integer", e.what());
+  }
+}
+
+}  // namespace
+}  // namespace tr::util

@@ -1,0 +1,157 @@
+// Determinism-under-concurrency hammer (ISSUE 8 acceptance criterion):
+// N parallel clients fire interleaved requests at one daemon — shared
+// warm catalog cache, bounded capacity forcing concurrent evictions,
+// mixed seeds/scenarios/options — and every response must be
+// byte-identical to a serial in-process run of the same request against
+// a fresh library. This is the strongest statement of the server
+// contract: a response is a pure function of (request bytes, seed), no
+// matter what else the daemon is doing. CI additionally runs this
+// binary under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "celllib/tech.hpp"
+#include "opt/batch.hpp"
+#include "opt/batch_report.hpp"
+#include "opt/circuit_load.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "util/json.hpp"
+
+namespace tr::server {
+namespace {
+
+struct RequestCase {
+  std::string name;
+  std::string json;            ///< the request document, byte-exact
+  std::vector<std::string> circuits;
+  char scenario = 'A';
+  std::uint64_t seed = 1;
+};
+
+/// Serial oracle: the same pipeline the service runs, against a fresh
+/// cold library, no concurrency — exactly what `tr_opt --no-timing
+/// --no-cache-stats` would print for this request.
+std::string serial_reference(const RequestCase& rc) {
+  const celllib::CellLibrary library = celllib::CellLibrary::standard();
+  const celllib::Tech tech;
+  std::vector<opt::BatchCircuit> batch;
+  for (const std::string& spec : rc.circuits) {
+    batch.push_back(opt::make_scenario_circuit_guarded(
+        spec, rc.scenario, rc.seed, library,
+        [&] { return opt::load_circuit_spec(spec, library); }));
+  }
+  const opt::BatchOptions options;  // defaults, as the requests below
+  const opt::BatchOptimizer optimizer(library, tech, options);
+  const opt::BatchReport report = optimizer.run(batch);
+  opt::BatchJsonOptions json;
+  json.include_timing = false;
+  json.include_cache_stats = false;
+  std::ostringstream out;
+  write_batch_json(batch, report, options, out, json);
+  return out.str();
+}
+
+TEST(ServerHammer, ParallelClientsMatchSerialOracleByteForByte) {
+  // Bounded cache (3 entries) so eviction churns *while* requests race:
+  // determinism must survive the worst cache weather, not just a warm
+  // steady state.
+  ServerConfig config;
+  config.service.workers = 4;
+  config.service.catalog_capacity = 3;
+  Server daemon(config);
+  daemon.start();
+  std::thread serve_thread([&daemon] { daemon.serve(); });
+
+  std::vector<RequestCase> cases;
+  cases.push_back({"c17_s1",
+                   R"({"circuits": ["c17"], "seed": 1})",
+                   {"c17"},
+                   'A',
+                   1});
+  cases.push_back({"pair_s7",
+                   R"({"circuits": ["fulladder", "cmp2"], "seed": 7})",
+                   {"fulladder", "cmp2"},
+                   'A',
+                   7});
+  cases.push_back({"dec_b",
+                   R"({"circuits": ["dec2to4", "c17"], "scenario": "B"})",
+                   {"dec2to4", "c17"},
+                   'B',
+                   1});
+  cases.push_back({"classic_s3",
+                   R"({"suite": "classic", "seed": 3})",
+                   {"c17", "cmp2", "dec2to4", "fulladder"},  // registry order
+                   'A',
+                   3});
+
+  std::vector<std::string> expected;
+  expected.reserve(cases.size());
+  for (const RequestCase& rc : cases) expected.push_back(serial_reference(rc));
+
+  // 8 client threads x 3 rounds, each thread walking the cases from a
+  // different offset so distinct requests genuinely interleave.
+  constexpr int kClients = 8;
+  constexpr int kRounds = 3;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t which =
+            (static_cast<std::size_t>(c) + static_cast<std::size_t>(round)) %
+            cases.size();
+        ClientResult result;
+        try {
+          result = run_request("127.0.0.1", daemon.port(), cases[which].json);
+        } catch (const std::exception& e) {
+          failures[c] = cases[which].name + ": " + e.what();
+          return;
+        }
+        if (result.type != kFrameResponse) {
+          failures[c] = cases[which].name + ": error frame: " + result.payload;
+          return;
+        }
+        if (result.payload != expected[which]) {
+          failures[c] = cases[which].name + ": response diverged from oracle";
+          return;
+        }
+        // Progress frames cover every circuit exactly once (order is
+        // scheduling-dependent and deliberately unasserted).
+        if (result.progress.size() != cases[which].circuits.size()) {
+          failures[c] = cases[which].name + ": wrong progress frame count";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+
+  daemon.request_drain();
+  serve_thread.join();
+
+  const ServiceMetrics metrics = daemon.service().metrics();
+  constexpr std::uint64_t kTotal = kClients * kRounds;
+  EXPECT_EQ(metrics.received, kTotal);
+  EXPECT_EQ(metrics.ok, kTotal);
+  // The warm cache genuinely carried across requests...
+  EXPECT_GT(metrics.cache.hits, 0u);
+  // ...while the capacity bound forced concurrent evictions.
+  EXPECT_GT(metrics.cache.evictions, 0u);
+  EXPECT_LE(metrics.cached_catalogs, 3u);
+}
+
+}  // namespace
+}  // namespace tr::server

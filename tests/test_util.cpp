@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -226,6 +227,36 @@ TEST(Json, DoubleRendersShortestRoundTrip) {
   // Round-trip guarantee: parsing the text recovers the exact bits.
   const double value = 1.4874833205017656e-06;
   EXPECT_EQ(std::stod(util::json_double(value)), value);
+}
+
+TEST(Json, NonFiniteDoublesRenderAsNull) {
+  // JSON has no NaN/Infinity literals; emitting them would produce a
+  // document no strict parser (including ours) accepts. The writer
+  // substitutes null so a rogue computation can never corrupt the wire
+  // format (DESIGN.md Sec. 13.2).
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(util::json_double(inf), "null");
+  EXPECT_EQ(util::json_double(-inf), "null");
+
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("nan");
+  w.value(std::nan(""));
+  w.key("inf");
+  w.value(inf);
+  w.key("neg_inf");
+  w.value(-inf);
+  w.key("finite");
+  w.value(1.5);
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"nan\": null,\n"
+            "  \"inf\": null,\n"
+            "  \"neg_inf\": null,\n"
+            "  \"finite\": 1.5\n"
+            "}\n");
 }
 
 TEST(Json, EscapesControlAndQuoteCharacters) {

@@ -6,8 +6,17 @@
 // against one shared reordering-catalog cache, and emit a deterministic
 // machine-readable JSON report.
 //
+// Besides the one-shot batch mode, the binary is the optimization
+// daemon and its client (DESIGN.md Sec. 13): `--serve` keeps one
+// process-lifetime library warm across requests behind a framed socket
+// protocol; `--connect` sends the same option surface as a request and
+// streams the response.
+//
 // Usage:
-//   tr_opt [circuit ...] [options]
+//   tr_opt [circuit ...] [options]            one-shot batch
+//   tr_opt --serve [--port N] [server options]
+//   tr_opt --connect HOST:PORT [circuit ...] [options]
+//   tr_opt --connect HOST:PORT --shutdown     ask the daemon to drain
 //
 // Circuits (positional, repeatable; --suite appends whole suites):
 //   <name>.blif   BLIF file: generic (.names) models are mapped onto the
@@ -15,6 +24,8 @@
 //   <name>.v      structural Verilog (the writer's subset)
 //   c17 ...       an embedded classic (see benchgen::classic_names)
 //   alu2 ...      a Table 3 / scaled suite entry, generated on the fly
+//   (the daemon serves embedded/generated specs only — file paths are
+//   rejected in a network request)
 //
 // Options:
 //   --suite classic|table3|scaled  append the whole suite
@@ -41,20 +52,40 @@
 //                        circuit into DIR instead of stdout
 //   --no-timing          omit wall-clock fields (byte-stable output)
 //   --no-gate-configs    omit the per-gate configuration arrays
+//   --no-cache-stats     omit the catalog_cache block — use together
+//                        with --no-timing to byte-compare a one-shot
+//                        run against a daemon response (the daemon
+//                        always omits both; DESIGN.md Sec. 13.3)
+//
+// Server options (--serve):
+//   --port N             TCP port, 0 = ephemeral (default 0)
+//   --host ADDR          bind address (default 127.0.0.1)
+//   --port-file PATH     write the bound port to PATH (for scripts)
+//   --workers N          concurrent request executors (default 2)
+//   --max-queue N        admission bound on queued requests (default 64)
+//   --catalog-capacity N LRU bound on cached catalogs, 0 = unbounded
+//
+// Client options (--connect):
+//   --priority N         scheduling priority, higher first (default 0)
+//   --shutdown           send a drain request instead of circuits
 //
 // stdout carries exactly one JSON document (or nothing with --out);
 // progress and the human summary go to stderr. Every JSON field except
 // the wall-clock block is bit-identical across runs and --jobs values.
+// A draining daemon dumps its metrics JSON (request counters, catalog
+// cache hit/miss/eviction totals) to stdout before exiting.
 //
 // Exit codes (README "Error handling"): 0 = every circuit ok; 1 = fatal
 // error (internal/unknown); 2 = usage; 3 = at least one circuit failed
 // (takes precedence over cancellation); 4 = circuits were cancelled but
-// none failed.
+// none failed. --connect maps the daemon's response onto the same codes.
 //
 // TR_FAULT=site[:nth][:kind][@context] arms the deterministic
 // fault-injection harness (util/fault.hpp) for the whole run — the CI
 // recovery-path drills run this binary with a poisoned environment.
 
+#include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -65,19 +96,23 @@
 #include <string>
 #include <vector>
 
-#include "benchgen/classic.hpp"
-#include "benchgen/suite.hpp"
 #include "celllib/library.hpp"
-#include "mapper/mapper.hpp"
-#include "netlist/blif.hpp"
-#include "netlist/verilog.hpp"
 #include "opt/batch.hpp"
 #include "opt/batch_report.hpp"
+#include "opt/circuit_load.hpp"
 #include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
+
+#ifdef TR_HAVE_SERVER
+#include <csignal>
+
+#include "server/client.hpp"
+#include "server/server.hpp"
+#endif
 
 namespace {
 
@@ -93,60 +128,16 @@ int usage(const char* error) {
          "              [--model extended|output_only] [--delay-budget F]\n"
          "              [--restrict-instance] [--keep-going | --fail-fast]\n"
          "              [--deadline-ms F] [--out DIR] [--no-timing]\n"
-         "              [--no-gate-configs]\n"
+         "              [--no-gate-configs] [--no-cache-stats]\n"
+         "       tr_opt --serve [--port N] [--host ADDR] [--port-file PATH]\n"
+         "              [--workers N] [--max-queue N] [--catalog-capacity N]\n"
+         "       tr_opt --connect HOST:PORT [circuit/option ...]\n"
+         "              [--priority N]\n"
+         "       tr_opt --connect HOST:PORT --shutdown\n"
          "circuits: BLIF/structural-Verilog files, embedded classics "
          "(c17, fulladder, cmp2, dec2to4),\n"
          "or generated suite entries (b1 ... alu4, syn1000 ... syn8000)\n";
   return 2;
-}
-
-bool is_classic(const std::string& name) {
-  for (const std::string& classic : benchgen::classic_names()) {
-    if (classic == name) return true;
-  }
-  return false;
-}
-
-const benchgen::BenchmarkSpec* find_suite_entry(const std::string& name) {
-  for (const auto& spec : benchgen::table3_suite()) {
-    if (spec.name == name) return &spec;
-  }
-  for (const auto& spec : benchgen::scaled_suite()) {
-    if (spec.name == name) return &spec;
-  }
-  return nullptr;
-}
-
-netlist::Netlist load_circuit(const std::string& spec,
-                              const celllib::CellLibrary& library) {
-  if (is_classic(spec)) {
-    const auto logic =
-        netlist::read_blif_logic_string(benchgen::classic_blif(spec), spec);
-    return mapper::map_network(logic, library);
-  }
-  if (const benchgen::BenchmarkSpec* entry = find_suite_entry(spec)) {
-    return benchgen::build_benchmark(library, *entry);
-  }
-  if (spec.ends_with(".blif")) {
-    std::ifstream in(spec);
-    require(in.good(), "cannot open BLIF file '" + spec + "'");
-    std::stringstream text;
-    text << in.rdbuf();
-    // Mapped BLIF carries .gate lines; generic BLIF carries .names
-    // blocks and goes through the technology mapper.
-    if (text.str().find("\n.gate") != std::string::npos) {
-      return netlist::read_blif_mapped_string(text.str(), library, spec);
-    }
-    return mapper::map_network(
-        netlist::read_blif_logic_string(text.str(), spec), library);
-  }
-  if (spec.ends_with(".v")) {
-    std::ifstream in(spec);
-    require(in.good(), "cannot open Verilog file '" + spec + "'");
-    return netlist::read_verilog(library, in, spec);
-  }
-  throw Error("unknown circuit '" + spec +
-              "' (not a classic, suite entry, .blif or .v file)");
 }
 
 std::string sanitize_filename(const std::string& name) {
@@ -163,152 +154,70 @@ std::string sanitize_filename(const std::string& name) {
 /// Strict numeric parsing: a flag value that is not entirely a number of
 /// the expected kind is a usage error, never a silent 0 (a mistyped
 /// --delay-budget must not quietly enable a zero-increase budget).
+/// std::from_chars — unlike the sto* family — accepts neither leading
+/// whitespace (" 5" must fail) nor "nan"/"inf" for the integer kinds;
+/// the finite check below closes the non-finite hole for doubles (a NaN
+/// --deadline-ms would otherwise never latch in the cancellation token).
 long long parse_int(const std::string& flag, const std::string& text) {
-  std::size_t consumed = 0;
   long long value = 0;
-  std::string detail;
-  try {
-    value = std::stoll(text, &consumed);
-  } catch (const std::exception& e) {
-    consumed = 0;
-    detail = std::string(": ") + e.what();
-  }
-  if (consumed != text.size() || text.empty()) {
-    std::exit(usage((flag + " expects an integer, got '" + text + "'" +
-                     detail).c_str()));
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc() || ptr != end) {
+    std::exit(
+        usage((flag + " expects an integer, got '" + text + "'").c_str()));
   }
   return value;
 }
 
 std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
-  std::size_t consumed = 0;
   std::uint64_t value = 0;
-  std::string detail;
-  try {
-    value = std::stoull(text, &consumed);
-  } catch (const std::exception& e) {
-    consumed = 0;
-    detail = std::string(": ") + e.what();
-  }
-  if (consumed != text.size() || text.empty() || text.front() == '-') {
-    std::exit(usage((flag + " expects a non-negative integer, got '" + text +
-                     "'" + detail).c_str()));
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc() || ptr != end) {
+    std::exit(usage(
+        (flag + " expects a non-negative integer, got '" + text + "'")
+            .c_str()));
   }
   return value;
 }
 
 double parse_double(const std::string& flag, const std::string& text) {
-  std::size_t consumed = 0;
   double value = 0.0;
-  std::string detail;
-  try {
-    value = std::stod(text, &consumed);
-  } catch (const std::exception& e) {
-    consumed = 0;
-    detail = std::string(": ") + e.what();
-  }
-  if (consumed != text.size() || text.empty()) {
-    std::exit(usage((flag + " expects a number, got '" + text + "'" +
-                     detail).c_str()));
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc() || ptr != end ||
+      !std::isfinite(value)) {
+    std::exit(
+        usage((flag + " expects a finite number, got '" + text + "'")
+                  .c_str()));
   }
   return value;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// The full option surface of one run, shared by the batch, serve and
+/// connect modes (the connect mode serialises it as a request document).
+struct Options {
   std::vector<std::string> circuit_specs;
   char scenario = 'A';
   std::uint64_t seed = 1;
   std::string out_dir;
   double deadline_ms = -1.0;
-  opt::BatchOptions options;
+  opt::BatchOptions batch;
   opt::BatchJsonOptions json;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) {
-        std::exit(usage((std::string(flag) + " needs a value").c_str()));
-      }
-      return argv[++i];
-    };
-    if (arg == "--suite") {
-      const std::string suite = next("--suite");
-      if (suite == "classic") {
-        for (const std::string& name : benchgen::classic_names()) {
-          circuit_specs.push_back(name);
-        }
-      } else if (suite == "table3") {
-        for (const auto& spec : benchgen::table3_suite()) {
-          circuit_specs.push_back(spec.name);
-        }
-      } else if (suite == "scaled") {
-        for (const auto& spec : benchgen::scaled_suite()) {
-          circuit_specs.push_back(spec.name);
-        }
-      } else {
-        return usage(("unknown suite '" + suite + "'").c_str());
-      }
-    } else if (arg == "--scenario") {
-      const std::string s = next("--scenario");
-      if (s != "A" && s != "B") return usage("scenario must be A or B");
-      scenario = s[0];
-    } else if (arg == "--seed") {
-      seed = parse_u64("--seed", next("--seed"));
-    } else if (arg == "--jobs") {
-      options.jobs = static_cast<int>(parse_int("--jobs", next("--jobs")));
-    } else if (arg == "--threads-per-circuit") {
-      options.threads_per_circuit = static_cast<int>(
-          parse_int("--threads-per-circuit", next("--threads-per-circuit")));
-    } else if (arg == "--objective") {
-      const std::string o = next("--objective");
-      if (o == "minimize") {
-        options.opt.objective = opt::Objective::minimize_power;
-      } else if (o == "maximize") {
-        options.opt.objective = opt::Objective::maximize_power;
-      } else {
-        return usage("objective must be minimize or maximize");
-      }
-    } else if (arg == "--model") {
-      const std::string m = next("--model");
-      if (m == "extended") {
-        options.opt.model = power::ModelKind::extended;
-      } else if (m == "output_only") {
-        options.opt.model = power::ModelKind::output_only;
-      } else {
-        return usage("model must be extended or output_only");
-      }
-    } else if (arg == "--delay-budget") {
-      options.opt.max_circuit_delay_increase =
-          parse_double("--delay-budget", next("--delay-budget"));
-    } else if (arg == "--restrict-instance") {
-      options.opt.restrict_to_instance = true;
-    } else if (arg == "--keep-going") {
-      options.keep_going = true;
-    } else if (arg == "--fail-fast") {
-      options.keep_going = false;
-    } else if (arg == "--deadline-ms") {
-      deadline_ms = parse_double("--deadline-ms", next("--deadline-ms"));
-      if (deadline_ms < 0.0) {
-        return usage("--deadline-ms expects a non-negative number");
-      }
-    } else if (arg == "--out") {
-      out_dir = next("--out");
-    } else if (arg == "--no-timing") {
-      json.include_timing = false;
-    } else if (arg == "--no-gate-configs") {
-      json.include_gate_configs = false;
-    } else if (arg == "--help" || arg == "-h") {
-      return usage(nullptr);
-    } else if (!arg.empty() && arg[0] == '-') {
-      return usage(("unknown option '" + arg + "'").c_str());
-    } else {
-      circuit_specs.push_back(arg);
-    }
-  }
-  if (circuit_specs.empty()) return usage("no circuits given");
+  bool serve = false;
+  std::string connect;  ///< HOST:PORT, empty = one-shot batch mode
+  bool shutdown = false;
+  int priority = 0;
+  int port = 0;
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  int workers = 2;
+  long long max_queue = 64;
+  std::uint64_t catalog_capacity = 0;
+};
 
+int run_batch(Options& o) {
   try {
     // CI recovery drills poison the pipeline through the environment.
     tr::util::fault::install_from_env();
@@ -317,11 +226,11 @@ int main(int argc, char** argv) {
     const celllib::Tech tech;
 
     std::vector<opt::BatchCircuit> batch;
-    batch.reserve(circuit_specs.size());
-    for (const std::string& spec : circuit_specs) {
+    batch.reserve(o.circuit_specs.size());
+    for (const std::string& spec : o.circuit_specs) {
       batch.push_back(opt::make_scenario_circuit_guarded(
-          spec, scenario, seed, library,
-          [&] { return load_circuit(spec, library); }));
+          spec, o.scenario, o.seed, library,
+          [&] { return opt::load_circuit_spec(spec, library); }));
       const opt::BatchCircuit& circuit = batch.back();
       if (circuit.load_error) {
         std::cerr << "failed to load " << spec << ": "
@@ -334,22 +243,23 @@ int main(int argc, char** argv) {
 
     // Armed after loading so --deadline-ms budgets the optimization
     // itself, not suite generation.
-    if (deadline_ms >= 0.0) {
-      options.cancel = util::CancellationToken::with_deadline_ms(deadline_ms);
+    if (o.deadline_ms >= 0.0) {
+      o.batch.cancel = util::CancellationToken::with_deadline_ms(
+          o.deadline_ms);
     }
 
-    const opt::BatchOptimizer optimizer(library, tech, options);
+    const opt::BatchOptimizer optimizer(library, tech, o.batch);
     const opt::BatchReport report = optimizer.run(batch);
 
-    if (out_dir.empty()) {
-      write_batch_json(batch, report, options, std::cout, json);
+    if (o.out_dir.empty()) {
+      write_batch_json(batch, report, o.batch, std::cout, o.json);
     } else {
       namespace fs = std::filesystem;
-      fs::create_directories(out_dir);
+      fs::create_directories(o.out_dir);
       {
-        std::ofstream out(fs::path(out_dir) / "batch.json");
-        require(out.good(), "cannot write to '" + out_dir + "'");
-        write_batch_json(batch, report, options, out, json);
+        std::ofstream out(fs::path(o.out_dir) / "batch.json");
+        require(out.good(), "cannot write to '" + o.out_dir + "'");
+        write_batch_json(batch, report, o.batch, out, o.json);
       }
       // Deterministic, collision-proof file names: bump a suffix until
       // the final name is genuinely unused ("a", "a", "a_2" must yield
@@ -362,12 +272,12 @@ int main(int argc, char** argv) {
           final_name = base + "_" + std::to_string(suffix);
         }
         taken.insert(final_name);
-        std::ofstream out(fs::path(out_dir) / (final_name + ".json"));
+        std::ofstream out(fs::path(o.out_dir) / (final_name + ".json"));
         require(out.good(),
                 "cannot write circuit report for '" + final_name + "'");
-        write_circuit_json(batch[i], report.circuits[i], out, json);
+        write_circuit_json(batch[i], report.circuits[i], out, o.json);
       }
-      std::cerr << "reports written to " << out_dir << "/\n";
+      std::cerr << "reports written to " << o.out_dir << "/\n";
     }
 
     std::cerr << "optimized " << report.circuits_ok << "/"
@@ -407,4 +317,323 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+#ifdef TR_HAVE_SERVER
+
+server::Server* g_server = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+  // request_drain is async-signal-safe (one pipe write).
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+int run_serve(const Options& o) {
+  try {
+    tr::util::fault::install_from_env();
+
+    server::ServerConfig config;
+    config.host = o.host;
+    config.port = o.port;
+    config.service.workers = o.workers;
+    config.service.max_queue = static_cast<std::size_t>(o.max_queue);
+    config.service.catalog_capacity =
+        static_cast<std::size_t>(o.catalog_capacity);
+
+    server::Server daemon(config);
+    daemon.start();
+
+    g_server = &daemon;
+    std::signal(SIGTERM, handle_drain_signal);
+    std::signal(SIGINT, handle_drain_signal);
+    // MSG_NOSIGNAL covers the framed writes; ignoring SIGPIPE as well
+    // keeps any stray fd write from killing the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!o.port_file.empty()) {
+      std::ofstream out(o.port_file);
+      require(out.good(), "cannot write port file '" + o.port_file + "'");
+      out << daemon.port() << "\n";
+    }
+    std::cerr << "tr_opt: serving on " << config.host << ":" << daemon.port()
+              << " (" << o.workers << " workers, queue " << o.max_queue
+              << ", catalog capacity "
+              << (o.catalog_capacity == 0 ? std::string("unbounded")
+                                          : std::to_string(o.catalog_capacity))
+              << ")\n";
+
+    daemon.serve();
+    g_server = nullptr;
+
+    // The drain-time metrics dump: the one place the cross-request
+    // cache hit rate and eviction counters are reported.
+    daemon.write_metrics_json(std::cout);
+    std::cout << "\n";
+    std::cerr << "tr_opt: drained\n";
+    return 0;
+  } catch (const std::exception& e) {
+    g_server = nullptr;
+    std::cerr << "tr_opt: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+/// Splits HOST:PORT (or bare PORT, meaning loopback). Exits with a
+/// usage error on anything else.
+void parse_endpoint(const std::string& spec, std::string& host, int& port) {
+  const std::size_t colon = spec.rfind(':');
+  std::string port_text;
+  if (colon == std::string::npos) {
+    host = "127.0.0.1";
+    port_text = spec;
+  } else {
+    host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  const long long value = parse_int("--connect port", port_text);
+  if (value < 1 || value > 65535) {
+    std::exit(usage("--connect port must be in 1..65535"));
+  }
+  port = static_cast<int>(value);
+}
+
+std::string render_request(const Options& o) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("circuits");
+  w.begin_array();
+  for (const std::string& spec : o.circuit_specs) w.value(spec);
+  w.end_array();
+  w.key("scenario");
+  w.value(std::string(1, o.scenario));
+  w.key("seed");
+  w.value(o.seed);
+  w.key("jobs");
+  w.value(o.batch.jobs);
+  w.key("threads_per_circuit");
+  w.value(o.batch.threads_per_circuit);
+  w.key("objective");
+  w.value(o.batch.opt.objective == opt::Objective::minimize_power
+              ? "minimize"
+              : "maximize");
+  w.key("model");
+  w.value(o.batch.opt.model == power::ModelKind::extended ? "extended"
+                                                          : "output_only");
+  w.key("delay_budget");
+  if (o.batch.opt.max_circuit_delay_increase >= 0.0) {
+    w.value(o.batch.opt.max_circuit_delay_increase);
+  } else {
+    w.null_value();
+  }
+  w.key("restrict_instance");
+  w.value(o.batch.opt.restrict_to_instance);
+  w.key("keep_going");
+  w.value(o.batch.keep_going);
+  w.key("deadline_ms");
+  if (o.deadline_ms >= 0.0) {
+    w.value(o.deadline_ms);
+  } else {
+    w.null_value();
+  }
+  w.key("priority");
+  w.value(o.priority);
+  w.key("gate_configs");
+  w.value(o.json.include_gate_configs);
+  w.end_object();
+  return out.str();
+}
+
+/// Maps a terminal frame onto the CLI exit codes so `--connect` scripts
+/// interchange with one-shot runs.
+int connect_exit_code(const server::ClientResult& result) {
+  const util::JsonValue doc = util::json_parse(result.payload);
+  if (result.type == server::kFrameResponse) {
+    const util::JsonValue* totals = doc.find("totals");
+    require(totals != nullptr, "client: response carries no totals");
+    if (totals->find("circuits_error")->as_i64("circuits_error") > 0) {
+      return 3;
+    }
+    if (totals->find("circuits_cancelled")->as_i64("circuits_cancelled") >
+        0) {
+      return 4;
+    }
+    return 0;
+  }
+  const std::string& code = doc.find("code")->as_string("code");
+  std::cerr << "tr_opt: server error [" << code
+            << "]: " << doc.find("message")->as_string("message") << "\n";
+  if (code == "cancelled") return 4;
+  if (code == "internal" || code == "unknown") return 1;
+  return 3;
+}
+
+int run_connect(const Options& o) {
+  try {
+    std::string host;
+    int port = 0;
+    parse_endpoint(o.connect, host, port);
+
+    if (o.shutdown) {
+      require(server::send_shutdown(host, port),
+              "client: shutdown not acknowledged");
+      std::cerr << "tr_opt: server draining\n";
+      return 0;
+    }
+
+    if (o.circuit_specs.empty()) {
+      return usage("no circuits given");
+    }
+    const server::ClientResult result = server::run_request(
+        host, port, render_request(o),
+        [](const std::string& payload) { std::cerr << payload << "\n"; });
+    // The payload goes out verbatim — byte-comparable against a
+    // one-shot run with --no-timing --no-cache-stats.
+    std::cout << result.payload;
+    return connect_exit_code(result);
+  } catch (const Error& e) {
+    std::cerr << "tr_opt: error: " << e.what() << "\n";
+    return e.code() == ErrorCode::cancelled ? 4 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "tr_opt: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+#endif  // TR_HAVE_SERVER
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::exit(usage((std::string(flag) + " needs a value").c_str()));
+      }
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      const std::string suite = next("--suite");
+      try {
+        for (std::string& spec : opt::suite_circuit_specs(suite)) {
+          o.circuit_specs.push_back(std::move(spec));
+        }
+      } catch (const Error& e) {
+        return usage(e.what());
+      }
+    } else if (arg == "--scenario") {
+      const std::string s = next("--scenario");
+      if (s != "A" && s != "B") return usage("scenario must be A or B");
+      o.scenario = s[0];
+    } else if (arg == "--seed") {
+      o.seed = parse_u64("--seed", next("--seed"));
+    } else if (arg == "--jobs") {
+      o.batch.jobs = static_cast<int>(parse_int("--jobs", next("--jobs")));
+    } else if (arg == "--threads-per-circuit") {
+      o.batch.threads_per_circuit = static_cast<int>(
+          parse_int("--threads-per-circuit", next("--threads-per-circuit")));
+    } else if (arg == "--objective") {
+      const std::string obj = next("--objective");
+      if (obj == "minimize") {
+        o.batch.opt.objective = opt::Objective::minimize_power;
+      } else if (obj == "maximize") {
+        o.batch.opt.objective = opt::Objective::maximize_power;
+      } else {
+        return usage("objective must be minimize or maximize");
+      }
+    } else if (arg == "--model") {
+      const std::string m = next("--model");
+      if (m == "extended") {
+        o.batch.opt.model = power::ModelKind::extended;
+      } else if (m == "output_only") {
+        o.batch.opt.model = power::ModelKind::output_only;
+      } else {
+        return usage("model must be extended or output_only");
+      }
+    } else if (arg == "--delay-budget") {
+      o.batch.opt.max_circuit_delay_increase =
+          parse_double("--delay-budget", next("--delay-budget"));
+    } else if (arg == "--restrict-instance") {
+      o.batch.opt.restrict_to_instance = true;
+    } else if (arg == "--keep-going") {
+      o.batch.keep_going = true;
+    } else if (arg == "--fail-fast") {
+      o.batch.keep_going = false;
+    } else if (arg == "--deadline-ms") {
+      o.deadline_ms = parse_double("--deadline-ms", next("--deadline-ms"));
+      if (o.deadline_ms < 0.0) {
+        return usage("--deadline-ms expects a non-negative number");
+      }
+    } else if (arg == "--out") {
+      o.out_dir = next("--out");
+    } else if (arg == "--no-timing") {
+      o.json.include_timing = false;
+    } else if (arg == "--no-gate-configs") {
+      o.json.include_gate_configs = false;
+    } else if (arg == "--no-cache-stats") {
+      o.json.include_cache_stats = false;
+    } else if (arg == "--serve") {
+      o.serve = true;
+    } else if (arg == "--connect") {
+      o.connect = next("--connect");
+    } else if (arg == "--shutdown") {
+      o.shutdown = true;
+    } else if (arg == "--port") {
+      const long long port = parse_int("--port", next("--port"));
+      if (port < 0 || port > 65535) {
+        return usage("--port must be in 0..65535");
+      }
+      o.port = static_cast<int>(port);
+    } else if (arg == "--host") {
+      o.host = next("--host");
+    } else if (arg == "--port-file") {
+      o.port_file = next("--port-file");
+    } else if (arg == "--workers") {
+      const long long workers = parse_int("--workers", next("--workers"));
+      if (workers < 1) return usage("--workers must be at least 1");
+      o.workers = static_cast<int>(workers);
+    } else if (arg == "--max-queue") {
+      o.max_queue = parse_int("--max-queue", next("--max-queue"));
+      if (o.max_queue < 1) return usage("--max-queue must be at least 1");
+    } else if (arg == "--catalog-capacity") {
+      o.catalog_capacity =
+          parse_u64("--catalog-capacity", next("--catalog-capacity"));
+    } else if (arg == "--priority") {
+      o.priority =
+          static_cast<int>(parse_int("--priority", next("--priority")));
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(("unknown option '" + arg + "'").c_str());
+    } else {
+      o.circuit_specs.push_back(arg);
+    }
+  }
+
+  if (o.serve && !o.connect.empty()) {
+    return usage("--serve and --connect are mutually exclusive");
+  }
+  if (o.shutdown && o.connect.empty()) {
+    return usage("--shutdown requires --connect");
+  }
+
+#ifdef TR_HAVE_SERVER
+  if (o.serve) {
+    if (!o.circuit_specs.empty()) {
+      return usage("--serve takes no circuits");
+    }
+    return run_serve(o);
+  }
+  if (!o.connect.empty()) return run_connect(o);
+#else
+  if (o.serve || !o.connect.empty()) {
+    return usage("server mode is not available on this platform");
+  }
+#endif
+
+  if (o.circuit_specs.empty()) return usage("no circuits given");
+  return run_batch(o);
 }
