@@ -21,14 +21,6 @@ const char* model_name(power::ModelKind model) {
   return model == power::ModelKind::extended ? "extended" : "output_only";
 }
 
-const char* effective_engine(const OptimizeOptions& opt) {
-  // optimize() routes delay-budgeted runs to the reference engine
-  // regardless of the requested engine; report what actually ran.
-  const bool reference = opt.engine == Engine::reference ||
-                         opt.max_circuit_delay_increase >= 0.0;
-  return reference ? "reference" : "catalog";
-}
-
 void write_error_object(JsonWriter& w, const CircuitError& error) {
   w.begin_object();
   w.key("code");
@@ -66,6 +58,15 @@ void write_circuit_object(JsonWriter& w, const BatchCircuit& circuit,
   w.value(result.primary_inputs);
   w.key("primary_outputs");
   w.value(result.primary_outputs);
+  // The engine that actually optimized this circuit, straight from the
+  // report (never re-inferred from the options: a delay-budgeted catalog
+  // request is downgraded to reference, and the annealing engine must
+  // not be mislabelled), plus the worker threads the scoring phase
+  // really used — budgeted runs are sequential whatever was requested.
+  w.key("engine");
+  w.value(engine_name(result.report.engine_used));
+  w.key("threads");
+  w.value(result.report.threads_used);
   w.key("model_power_before_w");
   w.value(result.report.model_power_before);
   w.key("model_power_after_w");
@@ -83,6 +84,24 @@ void write_circuit_object(JsonWriter& w, const BatchCircuit& circuit,
   w.value(result.report.configs_rejected_by_delay);
   w.key("configs_rejected_by_instance");
   w.value(result.report.configs_rejected_by_instance);
+  if (result.report.anneal) {
+    const AnnealStats& anneal = *result.report.anneal;
+    w.key("anneal");
+    w.begin_object();
+    w.key("iterations");
+    w.value(static_cast<std::int64_t>(anneal.iterations));
+    w.key("accepted");
+    w.value(static_cast<std::int64_t>(anneal.accepted));
+    w.key("uphill_accepted");
+    w.value(static_cast<std::int64_t>(anneal.uphill_accepted));
+    w.key("rejected_delay");
+    w.value(static_cast<std::int64_t>(anneal.rejected_delay));
+    w.key("greedy_power_w");
+    w.value(anneal.greedy_power);
+    w.key("final_power_w");
+    w.value(anneal.final_power);
+    w.end_object();
+  }
   if (json.include_gate_configs) {
     // Committed configurations of every *changed* gate, GateId order —
     // enough to re-apply the result to a canonically-configured netlist
@@ -138,19 +157,22 @@ void write_batch_json(const std::vector<BatchCircuit>& batch,
           "write_batch_json: batch and report sizes differ");
   JsonWriter w(out);
   w.begin_object();
+  // Schema v3: the top-level engine key became "engine_requested" (the
+  // option), and every ok circuit carries "engine" + "threads" (what
+  // actually ran, from the report).
   w.key("schema_version");
-  w.value(2);
+  w.value(3);
   w.key("generator");
   w.value("tr_opt");
   w.key("objective");
   w.value(objective_name(options.opt.objective));
   w.key("model");
   w.value(model_name(options.opt.model));
-  w.key("engine");
-  w.value(effective_engine(options.opt));
+  w.key("engine_requested");
+  w.value(engine_name(options.opt.engine));
   w.key("delay_budget");
-  if (options.opt.max_circuit_delay_increase >= 0.0) {
-    w.value(options.opt.max_circuit_delay_increase);
+  if (options.opt.max_circuit_delay_increase) {
+    w.value(*options.opt.max_circuit_delay_increase);
   } else {
     w.null_value();
   }

@@ -1,17 +1,28 @@
 #include "opt/optimizer.hpp"
 
+#include <cmath>
 #include <mutex>
 #include <optional>
 
 #include "celllib/cell.hpp"
 #include "delay/elmore.hpp"
 #include "gategraph/gate_graph.hpp"
+#include "opt/search.hpp"
 #include "power/gate_power.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tr::opt {
+
+const char* engine_name(Engine engine) noexcept {
+  switch (engine) {
+    case Engine::catalog: return "catalog";
+    case Engine::reference: return "reference";
+    case Engine::anneal: return "anneal";
+  }
+  return "unknown";
+}
 
 using boolfn::SignalStats;
 using celllib::CatalogConfig;
@@ -128,11 +139,13 @@ OptimizeReport optimize_reference(Netlist& netlist,
   }
 
   OptimizeReport report;
+  report.engine_used = Engine::reference;
+  report.threads_used = 1;  // the traversal is inherently sequential
   report.decisions.resize(static_cast<std::size_t>(netlist.gate_count()));
 
   // Arrival budgeting (conclusion (b)): per-net arrival ceilings from the
   // incoming mapping, and the running arrivals of the optimized netlist.
-  const bool budget_delay = options.max_circuit_delay_increase >= 0.0;
+  const bool budget_delay = options.max_circuit_delay_increase.has_value();
   std::vector<double> arrival_budget;
   std::vector<double> arrival;
   if (budget_delay) {
@@ -140,7 +153,7 @@ OptimizeReport optimize_reference(Netlist& netlist,
     arrival_budget.resize(timing.net_arrival.size());
     for (std::size_t i = 0; i < timing.net_arrival.size(); ++i) {
       arrival_budget[i] =
-          timing.net_arrival[i] * (1.0 + options.max_circuit_delay_increase);
+          timing.net_arrival[i] * (1.0 + *options.max_circuit_delay_increase);
     }
     arrival.assign(static_cast<std::size_t>(netlist.net_count()), 0.0);
   }
@@ -370,6 +383,8 @@ OptimizeReport optimize_catalog(Netlist& netlist,
   // GateId order; power totals accumulate in topological order to stay
   // bit-identical with the reference engine's running sums.
   OptimizeReport report;
+  report.engine_used = Engine::catalog;
+  report.threads_used = pool->thread_count();
   report.decisions.resize(static_cast<std::size_t>(netlist.gate_count()));
   for (GateId g = 0; g < netlist.gate_count(); ++g) {
     const GateOutcome& outcome = outcomes[static_cast<std::size_t>(g)];
@@ -398,11 +413,22 @@ OptimizeReport optimize(Netlist& netlist,
                         const celllib::Tech& tech,
                         const OptimizeOptions& options) {
   return with_error_site("optimize", [&] {
+    if (options.max_circuit_delay_increase) {
+      const double budget = *options.max_circuit_delay_increase;
+      require(std::isfinite(budget) && budget >= 0.0,
+              "optimize: max_circuit_delay_increase must be finite and >= 0");
+    }
+    if (options.engine == Engine::anneal) {
+      return search::anneal_optimize(netlist, pi_stats, tech, options);
+    }
     // Arrival budgeting couples a gate's admissible set to its fan-in
-    // gates' committed configurations — inherently sequential, so it runs
-    // on the reference engine.
+    // gates' committed configurations — inherently sequential, so a
+    // budgeted catalog request is downgraded to the reference engine
+    // (legacy fallback; Engine::anneal lifts the restriction — see
+    // DESIGN.md Sec. 14 for the removal plan). The report's engine_used
+    // records the downgrade.
     if (options.engine == Engine::reference ||
-        options.max_circuit_delay_increase >= 0.0) {
+        options.max_circuit_delay_increase.has_value()) {
       return optimize_reference(netlist, pi_stats, tech, options);
     }
     return optimize_catalog(netlist, pi_stats, tech, options);

@@ -19,7 +19,9 @@
 // Engine::reference; the parity test suite asserts both engines return
 // bit-identical reports.
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -43,9 +45,40 @@ enum class Engine {
   /// Catalog + word-parallel kernel + gate-parallel traversal (default).
   catalog,
   /// The retained per-candidate graph-rebuild scorer: the parity oracle,
-  /// and the only engine supporting arrival budgeting (which makes
-  /// per-gate decisions order-dependent).
+  /// and the legacy fallback for arrival budgeting (which makes per-gate
+  /// decisions order-dependent).
   reference,
+  /// Iterated local search / simulated annealing over joint gate
+  /// configurations on the incremental fanout-cone rescorer
+  /// (opt/search.hpp, DESIGN.md Sec. 14). Seeded from a table-driven
+  /// greedy that is bit-identical to the reference engine, so the result
+  /// never loses to greedy at the same delay budget. Deterministic per
+  /// (inputs, options, anneal.seed); always runs its search serially.
+  anneal,
+};
+
+/// Stable lowercase engine names — the JSON/report encoding of Engine.
+const char* engine_name(Engine engine) noexcept;
+
+/// Knobs of the annealing engine (used when engine == Engine::anneal).
+/// All defaults are deterministic; the search length is a pure function
+/// of the circuit size, never of wall-clock time.
+struct AnnealParams {
+  /// Seed of the move stream. Same seed, inputs and options => a
+  /// byte-identical report.
+  std::uint64_t seed = 1;
+  /// Move budget per gate: iterations = max(min_iterations,
+  /// iterations_per_gate * gate_count).
+  int iterations_per_gate = 256;
+  int min_iterations = 4096;
+  /// Initial temperature as a fraction of the mean per-gate power span
+  /// (max - min over the gate's configurations); the schedule decays
+  /// geometrically to final_temp_ratio * T0 over the move budget.
+  double initial_temp_scale = 0.5;
+  double final_temp_ratio = 1e-3;
+  /// Accepted moves between required-time (slack) refreshes; stale slack
+  /// only weakens the early-rejection prune, never correctness.
+  int slack_refresh = 32;
 };
 
 struct OptimizeOptions {
@@ -53,20 +86,23 @@ struct OptimizeOptions {
   /// Gate model used for scoring; output_only is the ablation baseline.
   power::ModelKind model = power::ModelKind::extended;
 
-  /// Paper conclusion (b) / future work: when >= 0, arrival budgeting is
-  /// enabled. Static timing of the incoming netlist fixes a per-net
-  /// arrival budget of (1 + this fraction) x the original arrival; during
-  /// the traversal a candidate configuration is admissible only if the
+  /// Paper conclusion (b): when set, arrival budgeting is enabled.
+  /// Static timing of the incoming netlist fixes a per-net arrival
+  /// budget of (1 + this fraction) x the original arrival; during the
+  /// traversal a candidate configuration is admissible only if the
   /// gate's output still arrives within its budget given the *actual*
   /// (already-optimized) input arrivals. The incoming configuration
-  /// always qualifies, and by induction the final critical path is within
-  /// (1 + fraction) of the original — 0.0 reproduces the paper's "power
-  /// reductions without increasing the delay of the circuit".
-  /// Negative (default) disables the constraint. Budgeted runs always use
-  /// the reference engine: a gate's admissible set depends on its fan-in
-  /// gates' committed configurations, so the decisions are not
-  /// independent and cannot be scored in parallel.
-  double max_circuit_delay_increase = -1.0;
+  /// always qualifies, and by induction the final critical path is
+  /// within (1 + fraction) of the original — 0.0 is a legitimate
+  /// zero-slack budget that reproduces the paper's "power reductions
+  /// without increasing the delay of the circuit", distinct from
+  /// nullopt (the default), which disables the constraint entirely.
+  /// The value must be finite and >= 0 (enforced by optimize()).
+  /// Budgeted greedy runs fall back to the sequential reference engine
+  /// (a gate's admissible set depends on its fan-in gates' committed
+  /// configurations); Engine::anneal lifts that restriction to a global
+  /// search over per-output ceilings (DESIGN.md Sec. 14).
+  std::optional<double> max_circuit_delay_increase;
 
   /// Paper conclusion (a): when true, only configurations realisable by
   /// the *same* sea-of-gates layout instance as the incoming one are
@@ -77,6 +113,9 @@ struct OptimizeOptions {
 
   /// Scoring engine selection (see Engine).
   Engine engine = Engine::catalog;
+
+  /// Annealing knobs; consulted only when engine == Engine::anneal.
+  AnnealParams anneal;
 
   /// Worker threads for the gate-parallel phase; 0 = one per hardware
   /// thread, 1 = serial. Ignored by the reference engine.
@@ -102,15 +141,41 @@ struct GateDecision {
   bool changed = false;         ///< configuration was rewritten
 };
 
+/// Search statistics of an annealing run (OptimizeReport::anneal).
+struct AnnealStats {
+  std::uint64_t iterations = 0;       ///< moves drawn (incl. null moves)
+  std::uint64_t accepted = 0;         ///< moves kept (incl. uphill)
+  std::uint64_t uphill_accepted = 0;  ///< kept despite a worse objective
+  /// Moves rejected because a primary output would leave its ceiling
+  /// (includes the slack-prune early rejections).
+  std::uint64_t rejected_delay = 0;
+  double greedy_power = 0.0;  ///< power of the greedy seed solution [W]
+  double final_power = 0.0;   ///< power of the committed best state [W]
+};
+
 struct OptimizeReport {
   std::vector<GateDecision> decisions;  ///< one per gate, GateId order
   double model_power_before = 0.0;  ///< circuit gate power, incoming configs
   double model_power_after = 0.0;   ///< circuit gate power, committed configs
   int gates_changed = 0;
-  /// Candidates rejected by the delay constraint (0 when disabled).
+  /// Candidates rejected by the delay constraint (0 when disabled). For
+  /// the annealing engine this counts the greedy seed phase, whose
+  /// semantics match the reference engine; move-level rejections live in
+  /// `anneal`.
   int configs_rejected_by_delay = 0;
   /// Candidates skipped by the instance restriction (0 when disabled).
   int configs_rejected_by_instance = 0;
+  /// The engine that actually ran — recorded by optimize() itself, so
+  /// consumers never have to re-infer routing from the options (a
+  /// delay-budgeted Engine::catalog request is downgraded to reference
+  /// while that fallback exists; see optimize()).
+  Engine engine_used = Engine::catalog;
+  /// Gate-level worker threads the scoring phase actually used (1 for
+  /// the sequential reference and annealing engines) — surfaces the
+  /// silent thread-count downgrade of budgeted runs.
+  int threads_used = 1;
+  /// Present iff engine_used == Engine::anneal.
+  std::optional<AnnealStats> anneal;
 };
 
 /// Reusable scoring buffers. One scratch per thread amortises the

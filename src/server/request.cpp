@@ -89,7 +89,7 @@ OptimizeRequest parse_request(std::string_view json_text) {
       }
     } else if (key == "delay_budget") {
       if (value.is_null()) {
-        request.batch.opt.max_circuit_delay_increase = -1.0;
+        request.batch.opt.max_circuit_delay_increase.reset();
       } else {
         const double budget = value.as_double("delay_budget");
         if (!std::isfinite(budget) || budget < 0.0) {
@@ -97,6 +97,23 @@ OptimizeRequest parse_request(std::string_view json_text) {
         }
         request.batch.opt.max_circuit_delay_increase = budget;
       }
+    } else if (key == "engine") {
+      const std::string& e = value.as_string("engine");
+      if (e == "catalog") {
+        request.batch.opt.engine = opt::Engine::catalog;
+      } else if (e == "reference") {
+        request.batch.opt.engine = opt::Engine::reference;
+      } else if (e == "anneal") {
+        request.batch.opt.engine = opt::Engine::anneal;
+      } else {
+        reject("engine must be \"catalog\", \"reference\" or \"anneal\"");
+      }
+    } else if (key == "anneal_seed") {
+      request.batch.opt.anneal.seed = value.as_u64("anneal_seed");
+    } else if (key == "anneal_iters") {
+      const int iters = to_int(value, "anneal_iters");
+      if (iters < 1) reject("anneal_iters must be >= 1");
+      request.batch.opt.anneal.iterations_per_gate = iters;
     } else if (key == "restrict_instance") {
       request.batch.opt.restrict_to_instance =
           value.as_bool("restrict_instance");

@@ -93,8 +93,22 @@ TEST(GoldenTrOpt, ClassicSuiteMatchesGolden) {
 TEST(GoldenTrOpt, ByteStableAcrossWorkerCounts) {
   const std::string serial = classic_batch_json(1, 1, {});
   EXPECT_EQ(serial, classic_batch_json(4, 1, {}));
-  EXPECT_EQ(serial, classic_batch_json(2, 2, {}));
   EXPECT_EQ(serial, classic_batch_json(0, 1, {}));
+  // Since schema v3 every circuit reports the gate-level worker count it
+  // actually used, so a different --threads-per-circuit legitimately
+  // changes exactly that one field — everything else (all decisions, all
+  // numbers) must stay byte-identical.
+  std::string threaded = classic_batch_json(2, 2, {});
+  std::size_t replaced = 0;
+  const std::string from = "\"threads\": 2";
+  const std::string to = "\"threads\": 1";
+  for (std::size_t pos = threaded.find(from); pos != std::string::npos;
+       pos = threaded.find(from, pos + to.size())) {
+    threaded.replace(pos, from.size(), to);
+    ++replaced;
+  }
+  EXPECT_EQ(replaced, 4u);  // one per classic circuit
+  EXPECT_EQ(serial, threaded);
 }
 
 TEST(GoldenTrOpt, ByteStableAcrossRepeatedRuns) {

@@ -37,8 +37,14 @@
 //   --objective minimize|maximize   power objective (default minimize)
 //   --model extended|output_only    gate power model (default extended)
 //   --delay-budget F     admit only configurations keeping the critical
-//                        path within (1+F)x the original (reference
-//                        engine; default off)
+//                        path within (1+F)x the original; F >= 0
+//                        (default off; 0 = zero-slack budget)
+//   --engine catalog|reference|anneal  scoring engine (default catalog;
+//                        a budgeted catalog run downgrades to the
+//                        sequential reference engine with a warning —
+//                        use anneal for a global search instead)
+//   --anneal-seed N      move-stream seed of --engine anneal (default 1)
+//   --anneal-iters N     annealing moves per gate (default 256)
 //   --restrict-instance  only same-layout-instance reorderings
 //   --keep-going         contain per-circuit failures as error records
 //                        and finish the rest (default)
@@ -126,6 +132,8 @@ int usage(const char* error) {
          "              [--threads-per-circuit N]\n"
          "              [--objective minimize|maximize]\n"
          "              [--model extended|output_only] [--delay-budget F]\n"
+         "              [--engine catalog|reference|anneal]\n"
+         "              [--anneal-seed N] [--anneal-iters N]\n"
          "              [--restrict-instance] [--keep-going | --fail-fast]\n"
          "              [--deadline-ms F] [--out DIR] [--no-timing]\n"
          "              [--no-gate-configs] [--no-cache-stats]\n"
@@ -224,6 +232,19 @@ int run_batch(Options& o) {
 
     const celllib::CellLibrary library = celllib::CellLibrary::standard();
     const celllib::Tech tech;
+
+    // While the legacy fallback exists, a delay-budgeted catalog run is
+    // silently sequential (reference engine, one thread per circuit) —
+    // say so instead of leaving the downgrade discoverable only through
+    // the per-circuit "engine"/"threads" report fields.
+    if (o.batch.opt.max_circuit_delay_increase &&
+        o.batch.opt.engine == opt::Engine::catalog) {
+      std::cerr << "tr_opt: warning: --delay-budget downgrades the catalog "
+                   "engine to the sequential reference engine "
+                   "(--threads-per-circuit has no effect); "
+                   "use --engine anneal for a parallel-quality global "
+                   "search\n";
+    }
 
     std::vector<opt::BatchCircuit> batch;
     batch.reserve(o.circuit_specs.size());
@@ -421,11 +442,17 @@ std::string render_request(const Options& o) {
   w.value(o.batch.opt.model == power::ModelKind::extended ? "extended"
                                                           : "output_only");
   w.key("delay_budget");
-  if (o.batch.opt.max_circuit_delay_increase >= 0.0) {
-    w.value(o.batch.opt.max_circuit_delay_increase);
+  if (o.batch.opt.max_circuit_delay_increase) {
+    w.value(*o.batch.opt.max_circuit_delay_increase);
   } else {
     w.null_value();
   }
+  w.key("engine");
+  w.value(opt::engine_name(o.batch.opt.engine));
+  w.key("anneal_seed");
+  w.value(o.batch.opt.anneal.seed);
+  w.key("anneal_iters");
+  w.value(o.batch.opt.anneal.iterations_per_gate);
   w.key("restrict_instance");
   w.value(o.batch.opt.restrict_to_instance);
   w.key("keep_going");
@@ -554,8 +581,33 @@ int main(int argc, char** argv) {
         return usage("model must be extended or output_only");
       }
     } else if (arg == "--delay-budget") {
-      o.batch.opt.max_circuit_delay_increase =
+      const double budget =
           parse_double("--delay-budget", next("--delay-budget"));
+      // A negative budget used to be the "off" sentinel; now that unset
+      // is explicit it is a plain usage error.
+      if (budget < 0.0) {
+        return usage("--delay-budget expects a non-negative number");
+      }
+      o.batch.opt.max_circuit_delay_increase = budget;
+    } else if (arg == "--engine") {
+      const std::string engine = next("--engine");
+      if (engine == "catalog") {
+        o.batch.opt.engine = opt::Engine::catalog;
+      } else if (engine == "reference") {
+        o.batch.opt.engine = opt::Engine::reference;
+      } else if (engine == "anneal") {
+        o.batch.opt.engine = opt::Engine::anneal;
+      } else {
+        return usage("engine must be catalog, reference or anneal");
+      }
+    } else if (arg == "--anneal-seed") {
+      o.batch.opt.anneal.seed =
+          parse_u64("--anneal-seed", next("--anneal-seed"));
+    } else if (arg == "--anneal-iters") {
+      const long long iters =
+          parse_int("--anneal-iters", next("--anneal-iters"));
+      if (iters < 1) return usage("--anneal-iters must be at least 1");
+      o.batch.opt.anneal.iterations_per_gate = static_cast<int>(iters);
     } else if (arg == "--restrict-instance") {
       o.batch.opt.restrict_to_instance = true;
     } else if (arg == "--keep-going") {
