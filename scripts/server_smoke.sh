@@ -8,8 +8,21 @@ set -euo pipefail
 TR_OPT="$1"
 WORK="$(mktemp -d)"
 SERVER_PID=""
+# Trap-based teardown (ISSUE 10 satellite): every exit path — including
+# a failed assertion under `set -e` — must reap the daemon, never leak
+# it holding the port. SIGTERM asks for a graceful drain; if the daemon
+# does not exit promptly it is SIGKILLed, and the wait reaps the zombie
+# either way.
 cleanup() {
-  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null || true
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2> /dev/null; then
+    kill -TERM "$SERVER_PID" 2> /dev/null || true
+    for _ in $(seq 1 50); do
+      kill -0 "$SERVER_PID" 2> /dev/null || break
+      sleep 0.1
+    done
+    kill -KILL "$SERVER_PID" 2> /dev/null || true
+  fi
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2> /dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT

@@ -101,6 +101,18 @@ BatchReport BatchOptimizer::run(std::vector<BatchCircuit>& batch) const {
       return;
     }
 
+    if (circuit.resumed) {
+      // Checkpoint resume: adopt the journaled result verbatim — the
+      // configurations are already applied to the netlist, no scoring
+      // runs, no cache traffic, no fault sites. Only the wall clock is
+      // this run's own (it measures the adoption, and is excluded from
+      // the byte-identity contract like all timing).
+      result = *circuit.resumed;
+      result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
+      if (options_.progress) options_.progress(i, result);
+      return;
+    }
+
     // Name this worker's unit of work so `site @ circuit` fault
     // targeting is deterministic regardless of jobs. The context is
     // thread-local: with threads_per_circuit == 1 the whole circuit runs
@@ -128,6 +140,10 @@ BatchReport BatchOptimizer::run(std::vector<BatchCircuit>& batch) const {
       result.critical_path_after =
           delay::circuit_delay(circuit.netlist, tech_).critical_path;
       result.elapsed_ms = ms_between(t0, std::chrono::steady_clock::now());
+      // Durability before visibility: journal the completed circuit
+      // first, so an emitted progress frame implies the entry survives
+      // a crash from here on.
+      if (options_.journal) options_.journal(i, circuit, result);
       if (options_.progress) options_.progress(i, result);
     } catch (...) {
       circuit.netlist = std::move(snapshot);

@@ -73,6 +73,23 @@ struct CircuitError {
 /// (bad_alloc -> resource, std::exception -> unknown).
 CircuitError describe_current_exception();
 
+/// Per-circuit outcome, in batch input order. For a non-ok circuit only
+/// `name`, `status`, `error` and `elapsed_ms` are meaningful — every
+/// numeric field stays default-initialised (the all-or-nothing
+/// contract: no partial numbers ever escape a failed circuit).
+struct BatchCircuitResult {
+  std::string name;
+  CircuitStatus status = CircuitStatus::ok;
+  std::optional<CircuitError> error;  ///< set iff status != ok
+  int gates = 0;
+  int primary_inputs = 0;
+  int primary_outputs = 0;
+  OptimizeReport report;
+  double critical_path_before = 0.0;  ///< Elmore critical path [s]
+  double critical_path_after = 0.0;
+  double elapsed_ms = 0.0;  ///< wall clock of this circuit's optimize
+};
+
 /// One circuit of a batch job; the netlist is optimized in place. The
 /// netlist must reference the batch's shared CellLibrary (enforced by
 /// identity in BatchOptimizer::run), otherwise each circuit would
@@ -86,9 +103,13 @@ struct BatchCircuit {
   /// and BatchOptimizer turns this record into the circuit's result
   /// without touching it, keeping batch input order intact.
   std::optional<CircuitError> load_error;
+  /// Set by checkpoint resume (opt/checkpoint, DESIGN.md Sec. 15.2): the
+  /// journaled result of a previous run, its committed configurations
+  /// already re-applied to `netlist`. BatchOptimizer adopts the record
+  /// verbatim instead of optimizing — the byte-identity contract relies
+  /// on the journal round-tripping every rendered value exactly.
+  std::optional<BatchCircuitResult> resumed;
 };
-
-struct BatchCircuitResult;
 
 struct BatchOptions {
   /// Circuit-level workers; 0 = one per hardware thread, 1 = serial.
@@ -117,23 +138,14 @@ struct BatchOptions {
   /// the determinism contract (the assembled report is not). With
   /// fail-fast, a circuit that rethrows reports no progress.
   std::function<void(std::size_t, const BatchCircuitResult&)> progress;
-};
-
-/// Per-circuit outcome, in batch input order. For a non-ok circuit only
-/// `name`, `status`, `error` and `elapsed_ms` are meaningful — every
-/// numeric field stays default-initialised (the all-or-nothing
-/// contract: no partial numbers ever escape a failed circuit).
-struct BatchCircuitResult {
-  std::string name;
-  CircuitStatus status = CircuitStatus::ok;
-  std::optional<CircuitError> error;  ///< set iff status != ok
-  int gates = 0;
-  int primary_inputs = 0;
-  int primary_outputs = 0;
-  OptimizeReport report;
-  double critical_path_before = 0.0;  ///< Elmore critical path [s]
-  double critical_path_after = 0.0;
-  double elapsed_ms = 0.0;  ///< wall clock of this circuit's optimize
+  /// Durability hook (opt/checkpoint): called after each circuit that
+  /// was *freshly* optimized — never for resumed or non-ok circuits —
+  /// with the circuit (for config lookups) and its finished result.
+  /// Invoked from the worker thread; must be thread-safe. Runs before
+  /// `progress`, so a progress frame implies the entry is durable.
+  std::function<void(std::size_t, const BatchCircuit&,
+                     const BatchCircuitResult&)>
+      journal;
 };
 
 struct BatchReport {

@@ -25,6 +25,10 @@ void write_error_object(JsonWriter& w, const CircuitError& error) {
   w.begin_object();
   w.key("code");
   w.value(error_code_name(error.code));
+  // Schema v4: the machine-readable retry classification rides next to
+  // the code, so clients need not hard-code the taxonomy.
+  w.key("retryable");
+  w.value(is_retryable(error.code));
   w.key("site");
   w.value(error.site);
   w.key("message");
@@ -159,9 +163,11 @@ void write_batch_json(const std::vector<BatchCircuit>& batch,
   w.begin_object();
   // Schema v3: the top-level engine key became "engine_requested" (the
   // option), and every ok circuit carries "engine" + "threads" (what
-  // actually ran, from the report).
+  // actually ran, from the report). Schema v4: error objects carry
+  // "retryable" (the ErrorCode retry classification, DESIGN.md
+  // Sec. 15.3).
   w.key("schema_version");
-  w.value(3);
+  w.value(4);
   w.key("generator");
   w.value("tr_opt");
   w.key("objective");

@@ -1,0 +1,105 @@
+#pragma once
+// Checkpoint/resume journaling for batch optimization (DESIGN.md
+// Sec. 15.2).
+//
+// Long batches (annealing sweeps, the syn1000..syn8000 tier) lose every
+// completed circuit to a SIGKILL/OOM/reboot without durable progress.
+// A CheckpointJournal fixes that: each circuit that completes with
+// status `ok` is serialized — its report numerics plus the committed
+// per-gate configurations — into one crash-consistent journal entry
+// (util/journal: fsync'd temp file + atomic rename), and a resumed run
+// loads those entries, re-applies the configurations to freshly loaded
+// netlists, and skips the optimization work entirely.
+//
+// The byte-identity contract: a `--checkpoint DIR --resume` run emits
+// output byte-identical to an uninterrupted run (under --no-timing
+// --no-cache-stats, the same determinism carve-outs as the daemon —
+// wall clock and cache deltas are nondeterministic by nature). This
+// works because every journaled number is rendered by the same
+// shortest-round-trip JsonWriter that renders reports, so parse-back
+// reproduces the identical IEEE-754 value, and the configurations are
+// re-applied to a deterministically reloaded netlist.
+//
+// Compatibility is guarded by a manifest: a fingerprint of everything
+// that shapes the deterministic output (circuit specs, scenario, seed,
+// objective/model/engine/anneal/budget/restriction) written on the
+// fresh run and byte-compared on resume — resuming under different
+// options is an error, never a silently mixed report. jobs/threads and
+// deadlines are deliberately excluded: they never change result bytes.
+//
+// Damage tolerance: a torn/truncated/bit-flipped/wrong-checksum entry
+// (the crash window, disk rot) is detected by the journal frame,
+// reported as a JournalWarning through the ErrorCode taxonomy, and the
+// circuit is simply re-optimized — corrupt progress is never trusted.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "opt/batch.hpp"
+
+namespace tr::opt::checkpoint {
+
+/// One non-fatal journal problem: a damaged or stale entry discovered
+/// while loading (the circuit is re-run), or a failed entry write
+/// (the run completed but that circuit is not resumable).
+struct JournalWarning {
+  std::string file;  ///< entry file name (bare, not a path)
+  ErrorCode code = ErrorCode::parse;
+  std::string message;
+};
+
+/// The manifest document: the run fingerprint, rendered
+/// deterministically from everything that shapes result bytes.
+std::string render_manifest(const std::vector<std::string>& circuit_specs,
+                            char scenario, std::uint64_t seed,
+                            const BatchOptions& options);
+
+/// The entry file name of batch index `index` ("circuit-0003-alu2.jnl");
+/// the zero-padded index keeps duplicate circuit names collision-free
+/// and directory listings in batch order.
+std::string entry_name(std::size_t index, const std::string& circuit_name);
+
+class CheckpointJournal {
+public:
+  /// Opens the journal directory. Fresh mode (`resume == false`)
+  /// creates the directory and writes `manifest`; an existing manifest
+  /// is an error (refusing to silently mix two runs' entries). Resume
+  /// mode requires the directory and manifest to exist and the manifest
+  /// bytes to equal `manifest`. Throws tr::Error on violations
+  /// (invalid_argument) and on I/O failure (resource).
+  CheckpointJournal(std::string dir, bool resume, std::string manifest);
+
+  /// Resume-loads every readable entry into `batch`: validates it
+  /// against the loaded circuit, re-applies the journaled gate
+  /// configurations to the netlist and fills BatchCircuit::resumed.
+  /// Damaged or stale entries become warnings and their circuits are
+  /// left to re-run. Returns the number of circuits resumed.
+  int load(std::vector<BatchCircuit>& batch);
+
+  /// Journals one completed circuit (call only for status == ok).
+  /// Thread-safe; write failures are collected as warnings — the batch
+  /// result stands even when durability could not be provided, the
+  /// caller surfaces the warning instead.
+  void record(std::size_t index, const BatchCircuit& circuit,
+              const BatchCircuitResult& result);
+
+  /// Problems collected by load() and record(), in discovery order.
+  std::vector<JournalWarning> warnings() const;
+
+  const std::string& dir() const noexcept { return dir_; }
+
+private:
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::vector<JournalWarning> warnings_;
+};
+
+/// Serializes one ok circuit result to an entry payload (exposed for
+/// the corruption-corpus tests, which damage real payloads).
+std::string render_entry(std::size_t index, const BatchCircuit& circuit,
+                         const BatchCircuitResult& result);
+
+}  // namespace tr::opt::checkpoint

@@ -40,8 +40,12 @@ int connect_tcp(const std::string& host, int port) {
       0) {
     const std::string detail = std::strerror(errno);
     ::close(fd);
+    // A refused/unreachable daemon is a transport condition, not a bad
+    // request: ErrorCode::disconnect so retry_client classifies it as
+    // retryable (the daemon may be restarting).
     throw Error("client: cannot connect to " + host + ":" +
-                std::to_string(port) + ": " + detail);
+                    std::to_string(port) + ": " + detail,
+                ErrorCode::disconnect);
   }
   return fd;
 }
@@ -50,8 +54,9 @@ ClientResult run_request(
     const std::string& host, int port, const std::string& request_json,
     const std::function<void(const std::string&)>& on_progress) {
   const FdGuard guard{connect_tcp(host, port)};
-  require(write_frame(guard.fd, kFrameRequest, request_json),
-          "client: request send failed");
+  if (!write_frame(guard.fd, kFrameRequest, request_json)) {
+    throw Error("client: request send failed", ErrorCode::disconnect);
+  }
 
   ClientResult result;
   for (;;) {
@@ -61,8 +66,12 @@ ClientResult run_request(
     // request and the server enforces it.
     const ReadResult r = read_frame(guard.fd, frame, kDefaultMaxFrameBytes);
     if (r != ReadResult::ok) {
+      // Every mid-stream read failure — EOF before the terminal frame,
+      // reset, torn header — means the daemon went away under us:
+      // classify as disconnect so a retrying caller tries again.
       throw Error("client: " + read_result_message(r, frame,
-                                                   kDefaultMaxFrameBytes));
+                                                   kDefaultMaxFrameBytes),
+                  ErrorCode::disconnect);
     }
     if (frame.type == kFrameProgress) {
       if (on_progress) on_progress(frame.payload);

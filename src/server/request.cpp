@@ -136,6 +136,11 @@ OptimizeRequest parse_request(std::string_view json_text) {
       request.priority = to_int(value, "priority");
     } else if (key == "gate_configs") {
       request.gate_configs = value.as_bool("gate_configs");
+    } else if (key == "request_id") {
+      request.request_id = value.as_string("request_id");
+      if (request.request_id.empty()) {
+        reject("request_id must be a non-empty string");
+      }
     } else {
       reject("unknown field '" + key + "'");
     }
@@ -170,6 +175,8 @@ std::string render_error(const opt::CircuitError& error) {
   w.value("error");
   w.key("code");
   w.value(error_code_name(error.code));
+  w.key("retryable");
+  w.value(is_retryable(error.code));
   w.key("site");
   w.value(error.site);
   w.key("message");

@@ -28,6 +28,9 @@
 //   deadline_ms  finite number >= 0 or null     (default null = none)
 //   priority   integer; higher runs first       (default 0)
 //   gate_configs  bool, emit per-gate arrays    (default true)
+//   request_id non-empty string: idempotency key — the daemon replays
+//              the stored response of a completed ID instead of
+//              re-executing it (default absent = every submission runs)
 
 #include <cstdint>
 #include <optional>
@@ -48,6 +51,7 @@ struct OptimizeRequest {
   std::optional<double> deadline_ms;
   int priority = 0;
   bool gate_configs = true;
+  std::string request_id;  ///< empty = no idempotency key
 };
 
 /// Parses and validates a request document. Throws tr::Error

@@ -61,6 +61,29 @@ util::CancellationToken OptimizeService::submit(
     return {};
   }
 
+  // Idempotent replay (DESIGN.md Sec. 15.4): a request_id the service
+  // already answered is served from the replay cache without touching
+  // the queue — a client retrying a lost response never re-runs the
+  // work. Checked after parsing so a malformed duplicate still counts
+  // as invalid. No progress frames are replayed: the terminal response
+  // is the contract, progress is best-effort observability.
+  if (!request.request_id.empty()) {
+    std::string replay;
+    bool hit = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (const std::string* stored = find_replay_locked(request.request_id)) {
+        replay = *stored;
+        hit = true;
+        ++counters_.replayed;
+      }
+    }
+    if (hit) {
+      sink->on_response(replay);
+      return {};
+    }
+  }
+
   Job job;
   job.cancel = request.deadline_ms
                    ? util::CancellationToken::with_deadline_ms(
@@ -155,7 +178,13 @@ void OptimizeService::execute(Job& job) noexcept {
     json.include_gate_configs = job.request.gate_configs;
     std::ostringstream out;
     write_batch_json(batch, report, options, out, json);
-    job.sink->on_response(out.str());
+    const std::string payload = out.str();
+    // Remember before sending: if the client dies between our send and
+    // its read, its retry must find the entry already present.
+    if (!job.request.request_id.empty()) {
+      remember_response(job.request.request_id, payload);
+    }
+    job.sink->on_response(payload);
     classify_outcome(report);
   } catch (...) {
     const opt::CircuitError error = opt::describe_current_exception();
@@ -174,6 +203,38 @@ void OptimizeService::execute(Job& job) noexcept {
     } catch (...) {
     }
   }
+}
+
+const std::string* OptimizeService::find_replay_locked(
+    const std::string& request_id) {
+  const auto it = replay_.find(request_id);
+  if (it == replay_.end()) return nullptr;
+  // Move to most-recent; the list is small (replay_capacity), so the
+  // linear remove is noise next to the optimization work being skipped.
+  replay_order_.remove(request_id);
+  replay_order_.push_back(request_id);
+  return &it->second;
+}
+
+void OptimizeService::remember_response(const std::string& request_id,
+                                        const std::string& payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.replay_capacity == 0) return;
+  const auto it = replay_.find(request_id);
+  if (it != replay_.end()) {
+    // A concurrent duplicate completed first; responses are pure
+    // functions of the request bytes, so the payloads agree — just
+    // refresh recency.
+    replay_order_.remove(request_id);
+    replay_order_.push_back(request_id);
+    return;
+  }
+  while (replay_.size() >= config_.replay_capacity) {
+    replay_.erase(replay_order_.front());
+    replay_order_.pop_front();
+  }
+  replay_.emplace(request_id, payload);
+  replay_order_.push_back(request_id);
 }
 
 void OptimizeService::classify_outcome(const opt::BatchReport& report) {
@@ -226,6 +287,8 @@ void OptimizeService::write_metrics_json(std::ostream& out) const {
   w.value(m.rejected);
   w.key("invalid");
   w.value(m.invalid);
+  w.key("replayed");
+  w.value(m.replayed);
   w.end_object();
   // The cross-request cache story lives here, not in response JSON:
   // lifetime hit/miss/eviction totals of the shared warm cache.

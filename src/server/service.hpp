@@ -20,6 +20,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,6 +60,11 @@ struct ServiceConfig {
   std::size_t max_queue = 64;
   /// Catalog cache bound for the shared library; 0 = unbounded.
   std::size_t catalog_capacity = 0;
+  /// Bound on remembered (request_id -> response) replay entries, LRU
+  /// evicted; 0 disables idempotent replay entirely. Only completed
+  /// *response* payloads are remembered — error frames re-execute, so a
+  /// transient failure is never replayed forever (DESIGN.md Sec. 15.4).
+  std::size_t replay_capacity = 64;
 };
 
 /// Cumulative counters reported in the drain-time metrics dump.
@@ -69,6 +75,7 @@ struct ServiceMetrics {
   std::uint64_t cancelled = 0;  ///< cancelled, none failed
   std::uint64_t rejected = 0;   ///< admission refused (full / draining)
   std::uint64_t invalid = 0;    ///< unparseable / schema-violating
+  std::uint64_t replayed = 0;   ///< answered from the idempotency cache
   celllib::CatalogCacheStats cache;  ///< shared-library lifetime totals
   std::size_t cached_catalogs = 0;   ///< resident entries at sample time
 };
@@ -119,6 +126,13 @@ private:
   void executor_loop();
   void execute(Job& job) noexcept;
   void classify_outcome(const opt::BatchReport& report);
+  /// Looks up a completed request_id; moves a hit to most-recent.
+  /// Returns nullptr on miss (pointer valid only under mutex_).
+  const std::string* find_replay_locked(const std::string& request_id);
+  /// Remembers a completed response, evicting the least recent beyond
+  /// replay_capacity. Thread-safe.
+  void remember_response(const std::string& request_id,
+                         const std::string& payload);
 
   ServiceConfig config_;
   celllib::CellLibrary library_;
@@ -131,6 +145,10 @@ private:
   /// map's smallest key is the highest priority, FIFO within a level.
   std::map<std::pair<int, std::uint64_t>, Job> queue_;
   std::uint64_t next_sequence_ = 0;
+  /// Idempotency replay cache: completed request_id -> response bytes,
+  /// most-recently-used at the back of replay_order_. Guarded by mutex_.
+  std::map<std::string, std::string> replay_;
+  std::list<std::string> replay_order_;
   int running_ = 0;
   bool draining_ = false;  ///< no further admissions
   bool stopping_ = false;  ///< executors exit once the queue is empty

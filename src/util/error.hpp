@@ -34,10 +34,42 @@ enum class ErrorCode : std::uint8_t {
   fault_injected,    ///< util::fault test harness injection
   resource,          ///< allocation failure (mapped from std::bad_alloc)
   unknown,           ///< foreign exception folded in at a boundary
+  disconnect,        ///< peer went away / transport failure (sockets)
 };
 
 /// Stable lowercase names, the JSON/report encoding of ErrorCode.
 const char* error_code_name(ErrorCode code) noexcept;
+
+/// Retry classification (DESIGN.md Sec. 15.3): true when the same
+/// request may legitimately succeed on a later attempt, so a resilient
+/// client should back off and retry; false when the failure is a
+/// property of the request itself (or a bug) and retrying can only burn
+/// time repeating it.
+///
+///   retryable:      cancelled (the caller's budget, not the input),
+///                   resource (allocation/queue pressure is transient),
+///                   disconnect (the daemon may come back),
+///                   fault_injected (the harness fires on one passage —
+///                   chaos drills retry straight through it)
+///   not retryable:  invalid_argument, parse (deterministic rejections
+///                   of the input), internal (a bug does not heal),
+///                   unknown (unclassified — retrying blind is worse
+///                   than surfacing it)
+constexpr bool is_retryable(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::cancelled:
+    case ErrorCode::resource:
+    case ErrorCode::disconnect:
+    case ErrorCode::fault_injected:
+      return true;
+    case ErrorCode::invalid_argument:
+    case ErrorCode::parse:
+    case ErrorCode::internal:
+    case ErrorCode::unknown:
+      return false;
+  }
+  return false;
+}
 
 /// Base class for all exceptions thrown by the library.
 class Error : public std::runtime_error {
@@ -111,6 +143,8 @@ inline const char* error_code_name(ErrorCode code) noexcept {
       return "resource";
     case ErrorCode::unknown:
       return "unknown";
+    case ErrorCode::disconnect:
+      return "disconnect";
   }
   return "unknown";
 }

@@ -1,0 +1,84 @@
+#pragma once
+// Crash-consistent journal entries (DESIGN.md Sec. 15.1).
+//
+// A journal is a directory of independent entry files, one per unit of
+// durable progress. The write protocol makes each entry atomic with
+// respect to power loss and SIGKILL:
+//
+//   1. the framed payload is written to a temp file in the same
+//      directory (same filesystem, so the rename below cannot degrade
+//      to a copy),
+//   2. the temp file is fsync'd — the bytes are on stable storage
+//      before any name points at them,
+//   3. the temp file is rename(2)'d onto the final entry name — POSIX
+//      guarantees the name either refers to the complete new file or
+//      (crash before the rename reaches disk) does not exist,
+//   4. the directory is fsync'd so the rename itself is durable.
+//
+// A reader therefore only ever observes an entry file that is either
+// complete or detectably damaged (a torn page inside an fsync'd file is
+// a hardware-level fault the checksum still catches). The entry frame:
+//
+//   magic "TRJL" | version:u32-LE | payload_len:u64-LE |
+//   fnv1a64(payload):u64-LE | payload bytes
+//
+// read_entry validates every field and NEVER trusts a damaged entry:
+// short header, version from the future, length mismatch in either
+// direction, or a checksum mismatch all classify the entry as corrupt —
+// the caller treats it as absent and redoes the work it recorded.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tr::util::journal {
+
+/// On-disk frame version written by this build. Readers reject newer
+/// versions (an older binary must not half-understand a newer frame).
+inline constexpr std::uint32_t kFrameVersion = 1;
+
+/// FNV-1a 64-bit over the payload bytes — the integrity check of the
+/// entry frame. Stable across platforms and releases.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Why an entry could not be read. Everything except `ok` means the
+/// entry must be treated as absent.
+enum class EntryStatus : std::uint8_t {
+  ok,
+  missing,           ///< no file at the path
+  io_error,          ///< open/read failed (permissions, transient I/O)
+  truncated_header,  ///< shorter than the fixed frame header
+  bad_magic,         ///< not a journal entry file
+  bad_version,       ///< written by a newer frame version
+  truncated_payload, ///< payload shorter than the declared length
+  trailing_bytes,    ///< payload longer than the declared length
+  bad_checksum,      ///< payload bytes do not match the stored FNV-1a
+};
+
+/// Stable lowercase names ("bad_checksum"), used in warnings and tests.
+const char* entry_status_name(EntryStatus status) noexcept;
+
+struct ReadResult {
+  EntryStatus status = EntryStatus::missing;
+  std::string payload;  ///< filled iff status == ok
+};
+
+/// Reads and validates one entry file. Never throws on damaged input —
+/// damage is a classification, not an exception (the crash the journal
+/// exists to survive can tear the last entry).
+ReadResult read_entry(const std::string& path);
+
+/// Durably writes `payload` to `dir/name` via the temp-file +
+/// fsync + atomic-rename protocol above. `name` must be a bare file
+/// name (no '/'). Throws tr::Error (ErrorCode::resource) when any step
+/// fails — a journal that cannot persist must fail loudly, silently
+/// dropping durability would defeat its purpose. On failure the final
+/// name is untouched (either the old entry or nothing).
+void write_entry(const std::string& dir, const std::string& name,
+                 std::string_view payload);
+
+/// fsync's a directory so a completed rename inside it is durable.
+/// Throws tr::Error (ErrorCode::resource) on failure.
+void sync_directory(const std::string& dir);
+
+}  // namespace tr::util::journal

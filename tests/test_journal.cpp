@@ -1,0 +1,213 @@
+// Crash-consistent journal entry format (ISSUE 10, util/journal):
+// round-trip, atomicity hygiene, and the damage corpus — every way an
+// entry can be torn, truncated or rotted must be *detected* and mapped
+// to the right EntryStatus, never parsed as trusted data. The
+// corruption fixtures are built by mutating real written entries, the
+// same shapes chaos_soak.sh inflicts on live checkpoint directories.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/journal.hpp"
+
+namespace tr::util::journal {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("tr_journal_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string read_raw(const std::string& name) const {
+    std::ifstream in(path(name), std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void write_raw(const std::string& name, const std::string& bytes) const {
+    std::ofstream out(path(name), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(JournalTest, RoundTripsArbitraryPayloadBytes) {
+  // Binary-hostile payload: NULs, high bytes, newlines — the frame is
+  // length-prefixed, nothing may be delimiter-sensitive.
+  std::string payload = "json{}\n";
+  payload.push_back('\0');
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+
+  write_entry(dir_, "entry.jnl", payload);
+  const ReadResult r = read_entry(path("entry.jnl"));
+  EXPECT_EQ(r.status, EntryStatus::ok);
+  EXPECT_EQ(r.payload, payload);
+}
+
+TEST_F(JournalTest, EmptyPayloadRoundTrips) {
+  write_entry(dir_, "empty.jnl", "");
+  const ReadResult r = read_entry(path("empty.jnl"));
+  EXPECT_EQ(r.status, EntryStatus::ok);
+  EXPECT_TRUE(r.payload.empty());
+}
+
+TEST_F(JournalTest, WriteLeavesNoTempFilesBehind) {
+  write_entry(dir_, "a.jnl", "payload-a");
+  write_entry(dir_, "b.jnl", "payload-b");
+  int files = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    ++files;
+    EXPECT_EQ(e.path().extension(), ".jnl") << e.path();
+  }
+  // Only the renamed entries — a .tmp survivor would mean the write is
+  // not publish-by-rename.
+  EXPECT_EQ(files, 2);
+}
+
+TEST_F(JournalTest, RewriteReplacesAtomically) {
+  write_entry(dir_, "e.jnl", "first");
+  write_entry(dir_, "e.jnl", "second");
+  const ReadResult r = read_entry(path("e.jnl"));
+  EXPECT_EQ(r.status, EntryStatus::ok);
+  EXPECT_EQ(r.payload, "second");
+}
+
+TEST_F(JournalTest, MissingFileIsMissingNotError) {
+  const ReadResult r = read_entry(path("never-written.jnl"));
+  EXPECT_EQ(r.status, EntryStatus::missing);
+}
+
+// --------------------------------------------------------------------
+// The damage corpus: every mutation of a real entry maps to a distinct
+// detected status, and none throws.
+
+TEST_F(JournalTest, TruncationInsideHeaderDetected) {
+  write_entry(dir_, "e.jnl", "payload");
+  const std::string raw = read_raw("e.jnl");
+  for (std::size_t keep : {std::size_t{0}, std::size_t{1}, std::size_t{23}}) {
+    write_raw("torn.jnl", raw.substr(0, keep));
+    const ReadResult r = read_entry(path("torn.jnl"));
+    EXPECT_EQ(r.status, EntryStatus::truncated_header) << "kept " << keep;
+  }
+}
+
+TEST_F(JournalTest, TruncationInsidePayloadDetected) {
+  write_entry(dir_, "e.jnl", "a payload long enough to cut");
+  const std::string raw = read_raw("e.jnl");
+  // Cut anywhere after the header but before the end: torn write.
+  write_raw("torn.jnl", raw.substr(0, raw.size() - 5));
+  const ReadResult r = read_entry(path("torn.jnl"));
+  EXPECT_EQ(r.status, EntryStatus::truncated_payload);
+}
+
+TEST_F(JournalTest, BadMagicDetected) {
+  write_entry(dir_, "e.jnl", "payload");
+  std::string raw = read_raw("e.jnl");
+  raw[0] = 'X';
+  write_raw("bad.jnl", raw);
+  EXPECT_EQ(read_entry(path("bad.jnl")).status, EntryStatus::bad_magic);
+}
+
+TEST_F(JournalTest, UnknownVersionDetected) {
+  write_entry(dir_, "e.jnl", "payload");
+  std::string raw = read_raw("e.jnl");
+  raw[4] = static_cast<char>(kFrameVersion + 1);  // version u32-LE low byte
+  write_raw("bad.jnl", raw);
+  EXPECT_EQ(read_entry(path("bad.jnl")).status, EntryStatus::bad_version);
+}
+
+TEST_F(JournalTest, TrailingBytesDetected) {
+  write_entry(dir_, "e.jnl", "payload");
+  write_raw("bad.jnl", read_raw("e.jnl") + "extra");
+  EXPECT_EQ(read_entry(path("bad.jnl")).status, EntryStatus::trailing_bytes);
+}
+
+TEST_F(JournalTest, PayloadBitFlipDetected) {
+  const std::string payload = "the checksum must catch a single flipped bit";
+  write_entry(dir_, "e.jnl", payload);
+  std::string raw = read_raw("e.jnl");
+  // Flip one payload bit per byte position; every mutation must be
+  // caught (FNV-1a is not cryptographic, but single-bit flips always
+  // change the hash).
+  for (std::size_t i = 24; i < raw.size(); i += 7) {
+    std::string mutated = raw;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x10);
+    write_raw("bad.jnl", mutated);
+    EXPECT_EQ(read_entry(path("bad.jnl")).status, EntryStatus::bad_checksum)
+        << "flip at offset " << i;
+  }
+}
+
+TEST_F(JournalTest, ChecksumFieldBitFlipDetected) {
+  write_entry(dir_, "e.jnl", "payload");
+  std::string raw = read_raw("e.jnl");
+  raw[16] = static_cast<char>(raw[16] ^ 0x01);  // stored checksum, u64-LE
+  write_raw("bad.jnl", raw);
+  EXPECT_EQ(read_entry(path("bad.jnl")).status, EntryStatus::bad_checksum);
+}
+
+TEST_F(JournalTest, DeclaredLengthLongerThanFileDetected) {
+  write_entry(dir_, "e.jnl", "payload");
+  std::string raw = read_raw("e.jnl");
+  raw[8] = static_cast<char>(raw[8] + 1);  // payload_len u64-LE low byte
+  write_raw("bad.jnl", raw);
+  // Length now exceeds the bytes present: truncated payload, and the
+  // checksum would not match anyway.
+  EXPECT_EQ(read_entry(path("bad.jnl")).status,
+            EntryStatus::truncated_payload);
+}
+
+TEST_F(JournalTest, StatusNamesAreStable) {
+  // The names surface in JournalWarning messages and chaos_soak greps.
+  EXPECT_STREQ(entry_status_name(EntryStatus::ok), "ok");
+  EXPECT_STREQ(entry_status_name(EntryStatus::missing), "missing");
+  EXPECT_STREQ(entry_status_name(EntryStatus::io_error), "io_error");
+  EXPECT_STREQ(entry_status_name(EntryStatus::truncated_header),
+               "truncated_header");
+  EXPECT_STREQ(entry_status_name(EntryStatus::bad_magic), "bad_magic");
+  EXPECT_STREQ(entry_status_name(EntryStatus::bad_version), "bad_version");
+  EXPECT_STREQ(entry_status_name(EntryStatus::truncated_payload),
+               "truncated_payload");
+  EXPECT_STREQ(entry_status_name(EntryStatus::trailing_bytes),
+               "trailing_bytes");
+  EXPECT_STREQ(entry_status_name(EntryStatus::bad_checksum), "bad_checksum");
+}
+
+TEST_F(JournalTest, WriteToUnwritableDirectoryThrowsResource) {
+  try {
+    write_entry(dir_ + "/no/such/subdir", "e.jnl", "payload");
+    FAIL() << "expected tr::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::resource);
+  }
+}
+
+TEST_F(JournalTest, Fnv1a64MatchesReferenceVectors) {
+  // Pinned reference values (FNV-1a 64-bit test vectors): the on-disk
+  // checksum must never silently change across refactors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+}  // namespace
+}  // namespace tr::util::journal

@@ -218,6 +218,36 @@ TEST(Error, RequireCarriesMessage) {
   }
 }
 
+TEST(Error, RetryClassificationIsPinnedPerCode) {
+  // is_retryable drives the resilient client's retry loop and the
+  // "retryable" field of every JSON error object (schema v4, DESIGN.md
+  // Sec. 15.3) — reclassifying a code is a behavior change for every
+  // deployed retrying client, so each one is pinned individually.
+  // Retrying can help: the condition is transient or external.
+  EXPECT_TRUE(is_retryable(ErrorCode::cancelled));       // deadline/admission
+  EXPECT_TRUE(is_retryable(ErrorCode::resource));        // fd/memory pressure
+  EXPECT_TRUE(is_retryable(ErrorCode::disconnect));      // daemon may return
+  EXPECT_TRUE(is_retryable(ErrorCode::fault_injected));  // one-shot harness
+  // Retrying cannot help: the request itself is wrong or the code is.
+  EXPECT_FALSE(is_retryable(ErrorCode::invalid_argument));
+  EXPECT_FALSE(is_retryable(ErrorCode::parse));
+  EXPECT_FALSE(is_retryable(ErrorCode::internal));
+  EXPECT_FALSE(is_retryable(ErrorCode::unknown));
+}
+
+TEST(Error, CodeNamesAreStable) {
+  // The JSON encoding of ErrorCode; grepped by scripts and clients.
+  EXPECT_STREQ(error_code_name(ErrorCode::invalid_argument),
+               "invalid_argument");
+  EXPECT_STREQ(error_code_name(ErrorCode::parse), "parse");
+  EXPECT_STREQ(error_code_name(ErrorCode::internal), "internal");
+  EXPECT_STREQ(error_code_name(ErrorCode::cancelled), "cancelled");
+  EXPECT_STREQ(error_code_name(ErrorCode::fault_injected), "fault_injected");
+  EXPECT_STREQ(error_code_name(ErrorCode::resource), "resource");
+  EXPECT_STREQ(error_code_name(ErrorCode::unknown), "unknown");
+  EXPECT_STREQ(error_code_name(ErrorCode::disconnect), "disconnect");
+}
+
 TEST(Json, DoubleRendersShortestRoundTrip) {
   EXPECT_EQ(util::json_double(0.0), "0");
   EXPECT_EQ(util::json_double(1.5), "1.5");

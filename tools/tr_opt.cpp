@@ -62,6 +62,12 @@
 //                        with --no-timing to byte-compare a one-shot
 //                        run against a daemon response (the daemon
 //                        always omits both; DESIGN.md Sec. 13.3)
+//   --checkpoint DIR     journal every completed circuit into DIR
+//                        (crash-consistent entries; DESIGN.md Sec. 15)
+//   --resume             with --checkpoint: skip circuits already
+//                        journaled in DIR and re-emit their results;
+//                        under --no-timing --no-cache-stats the output
+//                        is byte-identical to an uninterrupted run
 //
 // Server options (--serve):
 //   --port N             TCP port, 0 = ephemeral (default 0)
@@ -74,6 +80,18 @@
 // Client options (--connect):
 //   --priority N         scheduling priority, higher first (default 0)
 //   --shutdown           send a drain request instead of circuits
+//   --retries N          extra attempts after a retryable failure
+//                        (transport errors, retryable server errors;
+//                        default 0 = fail on the first)
+//   --retry-base-ms F    backoff before the first retry, doubling each
+//                        attempt with deterministic seeded jitter
+//                        (default 100)
+//   --timeout-ms F       per-attempt connect/read timeout (default:
+//                        none — the server enforces --deadline-ms)
+//   --request-id ID      idempotency key: the daemon replays the stored
+//                        response of an already-completed ID instead of
+//                        re-running it, so a retried request is executed
+//                        at most once (DESIGN.md Sec. 15.4)
 //
 // stdout carries exactly one JSON document (or nothing with --out);
 // progress and the human summary go to stderr. Every JSON field except
@@ -105,6 +123,7 @@
 #include "celllib/library.hpp"
 #include "opt/batch.hpp"
 #include "opt/batch_report.hpp"
+#include "opt/checkpoint.hpp"
 #include "opt/circuit_load.hpp"
 #include "util/cancel.hpp"
 #include "util/error.hpp"
@@ -117,6 +136,7 @@
 #include <csignal>
 
 #include "server/client.hpp"
+#include "server/retry_client.hpp"
 #include "server/server.hpp"
 #endif
 
@@ -137,10 +157,12 @@ int usage(const char* error) {
          "              [--restrict-instance] [--keep-going | --fail-fast]\n"
          "              [--deadline-ms F] [--out DIR] [--no-timing]\n"
          "              [--no-gate-configs] [--no-cache-stats]\n"
+         "              [--checkpoint DIR [--resume]]\n"
          "       tr_opt --serve [--port N] [--host ADDR] [--port-file PATH]\n"
          "              [--workers N] [--max-queue N] [--catalog-capacity N]\n"
          "       tr_opt --connect HOST:PORT [circuit/option ...]\n"
-         "              [--priority N]\n"
+         "              [--priority N] [--retries N] [--retry-base-ms F]\n"
+         "              [--timeout-ms F] [--request-id ID]\n"
          "       tr_opt --connect HOST:PORT --shutdown\n"
          "circuits: BLIF/structural-Verilog files, embedded classics "
          "(c17, fulladder, cmp2, dec2to4),\n"
@@ -213,10 +235,17 @@ struct Options {
   opt::BatchOptions batch;
   opt::BatchJsonOptions json;
 
+  std::string checkpoint_dir;  ///< empty = journaling off
+  bool resume = false;
+
   bool serve = false;
   std::string connect;  ///< HOST:PORT, empty = one-shot batch mode
   bool shutdown = false;
   int priority = 0;
+  int retries = 0;                ///< extra client attempts after the first
+  double retry_base_ms = 100.0;   ///< backoff of the first retry
+  double timeout_ms = -1.0;       ///< per-attempt connect/read timeout
+  std::string request_id;         ///< idempotency key, empty = none
   int port = 0;
   std::string host = "127.0.0.1";
   std::string port_file;
@@ -269,8 +298,42 @@ int run_batch(Options& o) {
           o.deadline_ms);
     }
 
+    // Checkpoint journaling (DESIGN.md Sec. 15.2): the manifest pins the
+    // run fingerprint, resume re-applies journaled results onto the
+    // freshly loaded batch, and the journal hook makes each freshly
+    // completed circuit durable before its progress is visible.
+    std::optional<opt::checkpoint::CheckpointJournal> journal;
+    if (!o.checkpoint_dir.empty()) {
+      journal.emplace(
+          o.checkpoint_dir, o.resume,
+          opt::checkpoint::render_manifest(o.circuit_specs, o.scenario,
+                                           o.seed, o.batch));
+      if (o.resume) {
+        const int resumed = journal->load(batch);
+        std::cerr << "tr_opt: resumed " << resumed << "/" << batch.size()
+                  << " circuits from " << o.checkpoint_dir << "\n";
+      }
+      o.batch.journal = [&journal](std::size_t i,
+                                   const opt::BatchCircuit& circuit,
+                                   const opt::BatchCircuitResult& result) {
+        journal->record(i, circuit, result);
+      };
+    }
+
     const opt::BatchOptimizer optimizer(library, tech, o.batch);
     const opt::BatchReport report = optimizer.run(batch);
+
+    if (journal) {
+      // Journal damage is never fatal — a damaged entry was re-run, a
+      // failed write only costs resumability — but it is never silent
+      // either.
+      for (const opt::checkpoint::JournalWarning& warning :
+           journal->warnings()) {
+        std::cerr << "tr_opt: warning: journal " << warning.file << " ["
+                  << error_code_name(warning.code)
+                  << "]: " << warning.message << "\n";
+      }
+    }
 
     if (o.out_dir.empty()) {
       write_batch_json(batch, report, o.batch, std::cout, o.json);
@@ -467,6 +530,10 @@ std::string render_request(const Options& o) {
   w.value(o.priority);
   w.key("gate_configs");
   w.value(o.json.include_gate_configs);
+  if (!o.request_id.empty()) {
+    w.key("request_id");
+    w.value(o.request_id);
+  }
   w.end_object();
   return out.str();
 }
@@ -511,8 +578,20 @@ int run_connect(const Options& o) {
     if (o.circuit_specs.empty()) {
       return usage("no circuits given");
     }
-    const server::ClientResult result = server::run_request(
-        host, port, render_request(o),
+    server::RetryPolicy policy;
+    policy.max_retries = o.retries;
+    policy.base_backoff_ms = o.retry_base_ms;
+    policy.timeout_ms = o.timeout_ms;
+    // The jitter stream derives from the master seed so a scripted
+    // client's whole retry schedule replays from one --seed value.
+    policy.jitter_seed = o.seed;
+    policy.on_retry = [](int attempt, double delay_ms,
+                         const std::string& why) {
+      std::cerr << "tr_opt: retry " << attempt << " in "
+                << format_fixed(delay_ms, 0) << " ms: " << why << "\n";
+    };
+    const server::ClientResult result = server::run_request_with_retry(
+        host, port, render_request(o), policy,
         [](const std::string& payload) { std::cerr << payload << "\n"; });
     // The payload goes out verbatim — byte-comparable against a
     // one-shot run with --no-timing --no-cache-stats.
@@ -621,6 +700,30 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--out") {
       o.out_dir = next("--out");
+    } else if (arg == "--checkpoint") {
+      o.checkpoint_dir = next("--checkpoint");
+    } else if (arg == "--resume") {
+      o.resume = true;
+    } else if (arg == "--retries") {
+      const long long retries = parse_int("--retries", next("--retries"));
+      if (retries < 0) return usage("--retries must be non-negative");
+      o.retries = static_cast<int>(retries);
+    } else if (arg == "--retry-base-ms") {
+      o.retry_base_ms =
+          parse_double("--retry-base-ms", next("--retry-base-ms"));
+      if (o.retry_base_ms < 0.0) {
+        return usage("--retry-base-ms expects a non-negative number");
+      }
+    } else if (arg == "--timeout-ms") {
+      o.timeout_ms = parse_double("--timeout-ms", next("--timeout-ms"));
+      if (o.timeout_ms <= 0.0) {
+        return usage("--timeout-ms expects a positive number");
+      }
+    } else if (arg == "--request-id") {
+      o.request_id = next("--request-id");
+      if (o.request_id.empty()) {
+        return usage("--request-id expects a non-empty key");
+      }
     } else if (arg == "--no-timing") {
       o.json.include_timing = false;
     } else if (arg == "--no-gate-configs") {
@@ -670,6 +773,16 @@ int main(int argc, char** argv) {
   }
   if (o.shutdown && o.connect.empty()) {
     return usage("--shutdown requires --connect");
+  }
+  if (o.resume && o.checkpoint_dir.empty()) {
+    return usage("--resume requires --checkpoint DIR");
+  }
+  if (!o.checkpoint_dir.empty() && (o.serve || !o.connect.empty())) {
+    return usage("--checkpoint applies to one-shot batch mode only");
+  }
+  if ((o.retries != 0 || o.timeout_ms > 0.0 || !o.request_id.empty()) &&
+      o.connect.empty()) {
+    return usage("--retries/--timeout-ms/--request-id require --connect");
   }
 
 #ifdef TR_HAVE_SERVER
